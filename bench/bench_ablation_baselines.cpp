@@ -1,0 +1,123 @@
+// Ablation: Dart vs the prior data-plane designs the paper positions
+// against (Sections 2 and 8) — the Chen et al. strawman (hash table +
+// timeout, no ambiguity handling) and a Dapper-style one-sample-per-flow
+// tracker — on identical traffic, judged against generator ground truth.
+//
+// Accuracy here means sample-level correctness: a sample is WRONG if its
+// (flow, eACK) never appears in ground truth or its measured RTT differs
+// from the true RTT (retransmission/reordering ambiguity mismeasured).
+#include <map>
+
+#include "baseline/dapper.hpp"
+#include "baseline/strawman.hpp"
+#include "baseline/tcptrace_const.hpp"
+#include "bench_util.hpp"
+
+using namespace dart;
+
+namespace {
+
+struct Judge {
+  std::map<std::pair<std::uint64_t, SeqNum>, trace::TruthSample> truth;
+  std::uint64_t correct = 0;
+  std::uint64_t wrong = 0;
+  analytics::PercentileSet rtts;
+
+  explicit Judge(const trace::Trace& trace) {
+    for (const auto& sample : trace.truth()) {
+      if (sample.tuple.src_ip.value() >> 24 == 10) {  // external leg only
+        truth.emplace(std::make_pair(hash_tuple(sample.tuple), sample.eack),
+                      sample);
+      }
+    }
+  }
+
+  core::SampleCallback callback() {
+    return [this](const core::RttSample& sample) {
+      rtts.add(sample.rtt());
+      const auto it = truth.find(
+          std::make_pair(hash_tuple(sample.tuple), sample.eack));
+      if (it != truth.end() && it->second.seq_ts == sample.seq_ts &&
+          it->second.ack_ts == sample.ack_ts) {
+        ++correct;
+      } else {
+        ++wrong;
+      }
+    };
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Dart vs strawman vs Dapper-style tracking",
+                      "Sections 2 and 8 (prior-design comparison)");
+
+  gen::CampusConfig workload = bench::standard_campus();
+  workload.loss_rate = 0.01;  // enough ambiguity to separate the designs
+  workload.reorder_prob = 0.008;
+  const trace::Trace trace = gen::build_campus(workload);
+  bench::print_trace_summary(trace);
+
+  Judge truth_counter(trace);
+  std::printf("ground truth: %s unambiguous external-leg samples\n\n",
+              format_count(truth_counter.truth.size()).c_str());
+
+  TextTable table({"design", "samples", "correct", "wrong", "wrong rate"});
+
+  auto add_row = [&table](const char* name, const Judge& judge) {
+    const std::uint64_t total = judge.correct + judge.wrong;
+    table.add_row({name, format_count(total), format_count(judge.correct),
+                   format_count(judge.wrong),
+                   total == 0 ? "-"
+                              : format_percent(static_cast<double>(judge.wrong) /
+                                               static_cast<double>(total))});
+  };
+
+  {
+    Judge judge(trace);
+    core::DartConfig config;
+    config.rt_size = 1 << 20;
+    config.pt_size = 1 << 13;
+    core::DartMonitor dart(config, judge.callback());
+    dart.process_all(trace.packets());
+    add_row("Dart (PT 2^13)", judge);
+  }
+  {
+    Judge judge(trace);
+    core::DartMonitor dart(baseline::tcptrace_const_config(false),
+                           judge.callback());
+    dart.process_all(trace.packets());
+    add_row("Dart (unbounded)", judge);
+  }
+  {
+    Judge judge(trace);
+    baseline::StrawmanConfig config;
+    config.table_size = 1 << 13;
+    baseline::Strawman strawman(config, judge.callback());
+    strawman.process_all(trace.packets());
+    add_row("strawman (no timeout)", judge);
+  }
+  {
+    Judge judge(trace);
+    baseline::StrawmanConfig config;
+    config.table_size = 1 << 13;
+    config.entry_timeout = msec(500);
+    baseline::Strawman strawman(config, judge.callback());
+    strawman.process_all(trace.packets());
+    add_row("strawman (500ms timeout)", judge);
+  }
+  {
+    Judge judge(trace);
+    baseline::DapperLike dapper(baseline::DapperConfig{}, judge.callback());
+    dapper.process_all(trace.packets());
+    add_row("Dapper-style (1/flow)", judge);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expectation: Dart emits zero wrong samples (ambiguity-aware); the "
+      "strawman emits wrong samples under retransmission/reordering; the "
+      "Dapper-style tracker is correct but collects far fewer samples.\n");
+  return 0;
+}

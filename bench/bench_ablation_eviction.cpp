@@ -1,0 +1,85 @@
+// Ablation: Packet Tracker eviction policy (design choice of Section 3.2).
+//
+// The paper argues lazy eviction must not bias against long RTTs, and its
+// 1-stage hardware design keeps older records. This bench compares, on a
+// multi-stage PT under pressure, the paper-faithful policy (evict the
+// youngest occupant) against evict-oldest and never-evict.
+//
+// Finding (documented in EXPERIMENTS.md): WITH the second-chance
+// recirculation mechanism, evict-oldest is the stronger multi-stage policy
+// — stale records are the oldest and self-destruct at the RT re-validation,
+// while still-valid old (long-RTT) records are rescued and relocated. Under
+// evict-youngest, stale records are never chosen and squat (the same
+// squatting that degrades Figure 12), crowding out both fresh and long-RTT
+// records. At k=1 the two policies coincide (a single candidate slot).
+// Never-evict collapses entirely, as Section 3.2 predicts.
+#include "baseline/tcptrace_const.hpp"
+#include "bench_util.hpp"
+
+using namespace dart;
+
+int main() {
+  bench::print_header("Ablation: PT eviction policy under memory pressure",
+                      "design choice of Section 3.2");
+
+  // Heavier ACK-visibility-outage share than the standard mix so a real
+  // population of long-RTT (keep-alive re-ACKed) records is at stake.
+  gen::CampusConfig workload = bench::standard_campus();
+  workload.ack_spike_prob = 0.02;
+  const trace::Trace trace = gen::build_campus(workload);
+  bench::print_trace_summary(trace);
+
+  const bench::MonitorRun baseline =
+      bench::run_dart(trace, baseline::tcptrace_const_config(false));
+  const std::size_t baseline_tail =
+      baseline.rtts.count() -
+      static_cast<std::size_t>(baseline.rtts.cdf_at(sec(1)) *
+                               static_cast<double>(baseline.rtts.count()));
+  std::printf("baseline: %s samples, %s with RTT >= 1 s\n\n",
+              format_count(baseline.rtts.count()).c_str(),
+              format_count(baseline_tail).c_str());
+
+  struct Policy {
+    const char* name;
+    core::EvictionPolicy policy;
+  };
+  const Policy policies[] = {
+      {"evict-youngest (Dart)", core::EvictionPolicy::kEvictYoungest},
+      {"evict-oldest (anti)", core::EvictionPolicy::kEvictOldest},
+      {"never-evict (squat)", core::EvictionPolicy::kNeverEvict},
+  };
+
+  TextTable table({"policy", "err p50", "err p99", "fraction",
+                   "tail(>=1s) kept", "recirc/pkt"});
+  for (const Policy& p : policies) {
+    core::DartConfig config;
+    config.rt_size = 1 << 20;
+    config.pt_size = 1 << 11;  // hard memory pressure
+    config.pt_stages = 4;      // age-based victim choice needs k > 1
+    config.max_recirculations = 2;
+    config.policy = p.policy;
+    const bench::MonitorRun run = bench::run_dart(trace, config);
+    const analytics::AccuracyReport report =
+        analytics::compare(baseline.rtts, run.rtts);
+    const std::size_t tail =
+        run.rtts.count() -
+        static_cast<std::size_t>(run.rtts.cdf_at(sec(1)) *
+                                 static_cast<double>(run.rtts.count()));
+    table.add_row({p.name, format_double(report.error_p50, 2) + "%",
+                   format_double(report.error_p99, 2) + "%",
+                   format_double(report.fraction_collected, 1) + "%",
+                   baseline_tail == 0
+                       ? "-"
+                       : format_percent(static_cast<double>(tail) /
+                                        static_cast<double>(baseline_tail)),
+                   format_double(run.stats.recirculations_per_packet(), 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expectation: never-evict strands stale records and collapses; "
+      "evict-oldest purges stale garbage first and, thanks to the "
+      "second-chance recirculation rescuing still-valid old records, keeps "
+      "both the highest fraction and the largest share of the >=1s tail; "
+      "evict-youngest lets immortal stale records squat.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Ablation: QUIC spin-bit observation vs Dart on equivalent TCP traffic
+// (Section 7, "Extending Dart to QUIC and IPv6").
+//
+// The paper's two critiques of the spin bit, quantified on matched flows
+// (same path RTT, same packet spacing, same duration):
+//   1. sample volume — at most one sample per round trip vs Dart's
+//      per-packet samples;
+//   2. silent corruption — reordering forges spin edges the observer
+//      cannot detect, producing implausibly small samples, while Dart's
+//      Range Tracker suppresses the analogous TCP ambiguities.
+#include "baseline/tcptrace_const.hpp"
+#include "bench_util.hpp"
+#include "quic/spin_bit.hpp"
+#include "quic/spin_flow.hpp"
+
+using namespace dart;
+
+namespace {
+
+constexpr double kRttMs = 40.0;
+
+quic::SpinFlowProfile spin_profile(double reorder) {
+  quic::SpinFlowProfile profile;
+  profile.tuple = FourTuple{Ipv4Addr{10, 8, 2, 2},
+                            Ipv4Addr{142, 250, 64, 100}, 44000, 443};
+  profile.duration = sec(30);
+  profile.send_interval = msec(2);
+  profile.internal = gen::jitter_rtt(msec(2), 0.05);
+  profile.external = gen::jitter_rtt(from_ms(kRttMs - 2.0), 0.05);
+  profile.reorder_prob = reorder;
+  profile.reorder_extra = msec(6);
+  return profile;
+}
+
+gen::FlowProfile tcp_profile(double reorder) {
+  gen::FlowProfile profile;
+  profile.tuple = FourTuple{Ipv4Addr{10, 8, 2, 3},
+                            Ipv4Addr{142, 250, 64, 100}, 44001, 443};
+  profile.internal = gen::jitter_rtt(msec(2), 0.05);
+  profile.external = gen::jitter_rtt(from_ms(kRttMs - 2.0), 0.05);
+  profile.mss = 1200;
+  profile.ack_every = 1;
+  profile.window_segments = 20;  // ~one packet per 2 ms at a 40 ms RTT
+  profile.reorder_prob = reorder;
+  profile.reorder_extra = msec(6);
+  // 30 s at ~20 segments per RTT.
+  profile.bytes_up = static_cast<std::uint64_t>(
+      30.0 / (kRttMs / 1e3) * 20.0 * profile.mss);
+  return profile;
+}
+
+struct Row {
+  std::string name;
+  std::size_t samples = 0;
+  double per_second = 0.0;
+  double p50_ms = 0.0;
+  double p5_ms = 0.0;
+};
+
+Row run_spin(double reorder, const char* name) {
+  const trace::Trace trace = quic::simulate_spin_flow(spin_profile(reorder));
+  analytics::PercentileSet rtts;
+  quic::SpinBitMonitor monitor(
+      [&rtts](const core::RttSample& s) { rtts.add(s.rtt()); });
+  monitor.process_all(trace.packets());
+  Row row;
+  row.name = name;
+  row.samples = rtts.count();
+  row.per_second = static_cast<double>(rtts.count()) / 30.0;
+  if (!rtts.empty()) {
+    row.p50_ms = rtts.percentile(50) / 1e6;
+    row.p5_ms = rtts.percentile(5) / 1e6;
+  }
+  return row;
+}
+
+Row run_dart(double reorder, const char* name) {
+  const trace::Trace trace = gen::simulate_flow(tcp_profile(reorder));
+  analytics::PercentileSet rtts;
+  core::DartConfig config;
+  config.rt_size = 1 << 10;
+  config.pt_size = 1 << 10;
+  core::DartMonitor monitor(
+      config, [&rtts](const core::RttSample& s) { rtts.add(s.rtt()); });
+  monitor.process_all(trace.packets());
+  Row row;
+  row.name = name;
+  row.samples = rtts.count();
+  row.per_second = static_cast<double>(rtts.count()) / 30.0;
+  if (!rtts.empty()) {
+    row.p50_ms = rtts.percentile(50) / 1e6;
+    row.p5_ms = rtts.percentile(5) / 1e6;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("QUIC spin bit vs Dart on matched flows",
+                      "Section 7 extension analysis");
+
+  std::printf(
+      "matched 30 s flows, ~%.0f ms end-to-end RTT, one packet per 2 ms\n\n",
+      kRttMs);
+
+  TextTable table({"monitor", "samples", "samples/s", "p50 (ms)", "p5 (ms)"});
+  for (const Row& row :
+       {run_dart(0.0, "Dart / TCP, clean"),
+        run_spin(0.0, "spin bit / QUIC, clean"),
+        run_dart(0.02, "Dart / TCP, 2% reorder"),
+        run_spin(0.02, "spin bit / QUIC, 2% reorder")}) {
+    table.add_row({row.name, format_count(row.samples),
+                   format_double(row.per_second, 1),
+                   format_double(row.p50_ms, 2),
+                   format_double(row.p5_ms, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "expectation: Dart collects an order of magnitude more samples per "
+      "second (per packet vs per round trip). Under reordering the spin "
+      "observer's p5 collapses toward zero (forged edges it cannot detect) "
+      "while Dart's p5 stays at the true RTT (ambiguous samples are "
+      "suppressed, not corrupted).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: Range Tracker size (the axis the paper holds fixed).
+//
+// The paper sets the RT "large enough to accommodate all flows" and sweeps
+// only the PT (Section 6.2), arguing operators track flow subsets. This
+// ablation shows what breaks when the RT is NOT large enough: hash-slot
+// takeovers evict other flows' measurement ranges mid-flight, and when a
+// displaced flow's next packet re-creates its entry the monitor has lost
+// the context to detect retransmissions (the Section 7 "restarts tracking
+// a flow already in progress" limitation) — samples are lost and, with the
+// strict re-anchoring rules, never corrupted.
+#include "baseline/tcptrace_const.hpp"
+#include "bench_util.hpp"
+
+using namespace dart;
+
+int main() {
+  bench::print_header("Ablation: Range Tracker size",
+                      "Section 6.2's fixed-RT assumption, quantified");
+
+  const trace::Trace trace = gen::build_campus(bench::standard_campus());
+  bench::print_trace_summary(trace);
+
+  const bench::MonitorRun baseline =
+      bench::run_dart(trace, baseline::tcptrace_const_config(false));
+  const trace::TraceStats stats = trace::compute_stats(trace);
+  std::printf("connections needing RT entries: ~%s (completed handshakes)\n\n",
+              format_count(stats.complete_handshakes).c_str());
+
+  TextTable table({"RT size", "fraction", "flow takeovers", "err p50",
+                   "recirc/pkt"});
+  for (std::size_t bits = 6; bits <= 16; bits += 2) {
+    core::DartConfig config;
+    config.rt_size = std::size_t{1} << bits;
+    config.pt_size = 1 << 14;  // generous: isolate the RT effect
+    const bench::MonitorRun run = bench::run_dart(trace, config);
+    const analytics::AccuracyReport report =
+        analytics::compare(baseline.rtts, run.rtts);
+    table.add_row({"2^" + std::to_string(bits),
+                   format_double(report.fraction_collected, 1) + "%",
+                   format_count(run.stats.rt_flow_overwrites),
+                   format_double(report.error_p50, 2) + "%",
+                   format_double(run.stats.recirculations_per_packet(), 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expectation: an undersized RT loses samples in proportion to slot "
+      "takeovers; the error stays small until extreme undersizing (several "
+      "concurrent flows per slot), where short-lived flows crowd out "
+      "long-lived ones and skew the distribution. Mid-flow restarts forgo "
+      "samples, never corrupt them. Sizing the RT to the tracked-flow count "
+      "(the paper's assumption) makes takeovers negligible.\n");
+  return 0;
+}

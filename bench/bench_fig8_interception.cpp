@@ -1,0 +1,96 @@
+// Figures 7/8: detecting a BGP traffic-interception attack from the RTT
+// stream. The rerouted path raises the RTT from ~25 ms to ~120 ms at
+// t~36 s; the detector computes the min RTT over windows of 8 samples,
+// suspects on an abrupt rise, and confirms when it sustains one more
+// window. Paper: confirmed within 63 packets / 2.58 s of onset.
+#include "analytics/change_detector.hpp"
+#include "bench_util.hpp"
+
+using namespace dart;
+
+int main() {
+  bench::print_header("Interception attack detection via windowed min-RTT",
+                      "Figures 7/8, Section 5.2");
+
+  gen::InterceptionConfig scenario;
+  const trace::Trace trace = gen::build_interception(scenario);
+  std::printf("monitored flow: %s\n",
+              gen::interception_tuple().to_string().c_str());
+  std::printf("attack takes effect at t=%.0f s (%.0f ms -> %.0f ms)\n\n",
+              static_cast<double>(scenario.attack_time) / 1e9,
+              scenario.pre_attack_rtt_ms, scenario.post_attack_rtt_ms);
+
+  analytics::ChangeDetector detector{analytics::ChangeDetectorConfig{}};
+  std::uint64_t samples = 0;
+  std::uint64_t samples_at_onset = 0;
+  std::uint64_t packets_at_onset = 0;
+  std::uint64_t packets = 0;
+  struct EventRow {
+    analytics::DetectionEvent event;
+    std::uint64_t packets_seen;
+  };
+  std::vector<EventRow> rows;
+
+  core::DartConfig config;
+  config.rt_size = 1 << 12;
+  config.pt_size = 1 << 12;
+  core::DartMonitor dart(config, [&](const core::RttSample& sample) {
+    ++samples;
+    if (sample.ack_ts < scenario.attack_time) {
+      samples_at_onset = samples;
+      packets_at_onset = packets;
+    }
+    const auto event = detector.add(sample.rtt(), sample.ack_ts);
+    if (event) rows.push_back({*event, packets});
+  });
+  for (const PacketRecord& p : trace.packets()) {
+    ++packets;
+    dart.process(p);
+  }
+
+  std::printf("Dart collected %s samples from %s packets\n\n",
+              format_count(samples).c_str(), format_count(packets).c_str());
+
+  std::printf("--- windowed min-RTT trajectory (every 8-sample window) ---\n");
+  TextTable windows({"window", "t (s)", "min RTT (ms)"});
+  const auto& history = detector.window_history();
+  const std::size_t step = std::max<std::size_t>(history.size() / 24, 1);
+  for (std::size_t i = 0; i < history.size(); i += step) {
+    windows.add_row({std::to_string(history[i].window_index),
+                     format_double(
+                         static_cast<double>(history[i].window_end_ts) / 1e9,
+                         1),
+                     bench::ms(static_cast<double>(history[i].min_rtt))});
+  }
+  std::printf("%s\n", windows.render().c_str());
+
+  std::printf("--- detection events ---\n");
+  for (const EventRow& row : rows) {
+    const char* kind =
+        row.event.state == analytics::DetectionState::kSuspected
+            ? "SUSPECTED"
+            : "CONFIRMED";
+    std::printf(
+        "  %s at t=%.2f s (window %llu): min RTT %s -> %s ms; %llu packets "
+        "and %llu samples after onset\n",
+        kind, static_cast<double>(row.event.at_ts) / 1e9,
+        static_cast<unsigned long long>(row.event.window_index),
+        bench::ms(static_cast<double>(row.event.baseline_min)).c_str(),
+        bench::ms(static_cast<double>(row.event.elevated_min)).c_str(),
+        static_cast<unsigned long long>(row.packets_seen - packets_at_onset),
+        static_cast<unsigned long long>(
+            detector.window_history()[row.event.window_index].samples_seen -
+            samples_at_onset));
+  }
+  if (!rows.empty() &&
+      rows.back().event.state == analytics::DetectionState::kConfirmed) {
+    std::printf(
+        "\nresult: attack confirmed %.2f s after onset (paper: 63 packets / "
+        "2.58 s)\n",
+        static_cast<double>(rows.back().event.at_ts - scenario.attack_time) /
+            1e9);
+  } else {
+    std::printf("\nresult: ATTACK NOT CONFIRMED (unexpected)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmark: per-packet processing cost of each monitor on the
+// standard campus workload (google-benchmark).
+//
+// Context for the paper's motivation (Section 1): software monitors are
+// limited to a few Mpps; the Tofino forwards Tbps. This measures our
+// simulator's software cost per packet for each design, which also bounds
+// how long the figure benches take.
+#include <benchmark/benchmark.h>
+
+#include "baseline/dapper.hpp"
+#include "baseline/strawman.hpp"
+#include "baseline/tcptrace.hpp"
+#include "baseline/tcptrace_const.hpp"
+#include "bench_util.hpp"
+
+using namespace dart;
+
+namespace {
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace trace = [] {
+    gen::CampusConfig config = bench::standard_campus();
+    config.connections = 8000;
+    config.duration = sec(10);
+    return gen::build_campus(config);
+  }();
+  return trace;
+}
+
+void BM_DartBounded(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  for (auto _ : state) {
+    core::DartConfig config;
+    config.rt_size = 1 << 16;
+    config.pt_size = std::size_t{1} << state.range(0);
+    config.pt_stages = static_cast<std::uint32_t>(state.range(1));
+    std::uint64_t samples = 0;
+    core::DartMonitor dart(config,
+                           [&samples](const core::RttSample&) { ++samples; });
+    dart.process_all(trace.packets());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DartBounded)
+    ->Args({12, 1})
+    ->Args({12, 8})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DartUnbounded(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  for (auto _ : state) {
+    std::uint64_t samples = 0;
+    core::DartMonitor dart(baseline::tcptrace_const_config(false),
+                           [&samples](const core::RttSample&) { ++samples; });
+    dart.process_all(trace.packets());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DartUnbounded)->Unit(benchmark::kMillisecond);
+
+void BM_TcpTrace(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  for (auto _ : state) {
+    baseline::TcpTraceConfig config;
+    config.include_syn = false;
+    std::uint64_t samples = 0;
+    baseline::TcpTrace tt(config,
+                          [&samples](const core::RttSample&) { ++samples; });
+    tt.process_all(trace.packets());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TcpTrace)->Unit(benchmark::kMillisecond);
+
+void BM_Strawman(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  for (auto _ : state) {
+    baseline::StrawmanConfig config;
+    config.table_size = 1 << 16;
+    std::uint64_t samples = 0;
+    baseline::Strawman strawman(
+        config, [&samples](const core::RttSample&) { ++samples; });
+    strawman.process_all(trace.packets());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Strawman)->Unit(benchmark::kMillisecond);
+
+void BM_DapperLike(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  for (auto _ : state) {
+    std::uint64_t samples = 0;
+    baseline::DapperLike dapper(
+        baseline::DapperConfig{},
+        [&samples](const core::RttSample&) { ++samples; });
+    dapper.process_all(trace.packets());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DapperLike)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    gen::CampusConfig config;
+    config.connections = static_cast<std::uint32_t>(state.range(0));
+    config.duration = sec(5);
+    const trace::Trace trace = gen::build_campus(config);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

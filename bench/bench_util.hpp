@@ -1,0 +1,75 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench builds a deterministic workload, runs one or more monitors
+// over it, and prints the series the corresponding paper exhibit plots,
+// alongside the paper's reported values where applicable. EXPERIMENTS.md
+// records the paper-vs-measured comparison these binaries regenerate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analytics/metrics.hpp"
+#include "analytics/percentile.hpp"
+#include "common/strings.hpp"
+#include "core/dart_monitor.hpp"
+#include "gen/workload.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace dart::bench {
+
+/// The standard campus-mix workload all table-configuration sweeps share.
+/// ~150k connections over 10 s — a scaled-down analogue of the paper's
+/// 1.38M-connection, 15-minute capture, compressed in time so the PT-size
+/// sweep spans the same pressure regime as the paper's 2^10..2^20 axis
+/// (scaling documented in DESIGN.md §3 and EXPERIMENTS.md).
+inline gen::CampusConfig standard_campus() {
+  gen::CampusConfig config;
+  config.seed = 20220822;  // SIGCOMM '22 opening day
+  config.connections = 40000;
+  config.duration = sec(10);
+  return config;
+}
+
+struct MonitorRun {
+  analytics::PercentileSet rtts;
+  core::DartStats stats;
+};
+
+inline MonitorRun run_dart(const trace::Trace& trace,
+                           const core::DartConfig& config) {
+  MonitorRun run;
+  core::DartMonitor dart(config, [&run](const core::RttSample& sample) {
+    run.rtts.add(sample.rtt());
+  });
+  dart.process_all(trace.packets());
+  run.stats = dart.stats();
+  return run;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s)\n\n", paper_ref.c_str());
+}
+
+inline void print_trace_summary(const trace::Trace& trace) {
+  const trace::TraceStats stats = trace::compute_stats(trace);
+  std::printf(
+      "workload: %s packets, %s connections (%s incomplete handshakes), "
+      "%.1f s, %s pkt/s\n\n",
+      format_count(stats.packets).c_str(),
+      format_count(stats.connections).c_str(),
+      format_percent(stats.connections == 0
+                         ? 0.0
+                         : static_cast<double>(stats.incomplete_handshakes()) /
+                               static_cast<double>(stats.connections))
+          .c_str(),
+      static_cast<double>(stats.duration()) / 1e9,
+      format_count(static_cast<std::uint64_t>(stats.packets_per_second()))
+          .c_str());
+}
+
+inline std::string ms(double ns) { return format_double(ns / 1e6, 2); }
+
+}  // namespace dart::bench

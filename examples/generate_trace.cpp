@@ -1,0 +1,68 @@
+// Example: generate a workload and save it as a .dtrc binary trace (plus
+// optional CSV), to be replayed later with examples/replay_trace.
+//
+//   ./build/examples/generate_trace [scenario] [output.dtrc]
+//
+// scenarios: campus (default) | synflood | interception | bufferbloat |
+//            stranded
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+#include "gen/workload.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dart;
+
+  const std::string scenario = argc > 1 ? argv[1] : "campus";
+  const std::string output =
+      argc > 2 ? argv[2] : ("/tmp/dart_" + scenario + ".dtrc");
+
+  trace::Trace trace;
+  if (scenario == "campus") {
+    gen::CampusConfig config;
+    config.connections = 10000;
+    config.duration = sec(20);
+    trace = gen::build_campus(config);
+  } else if (scenario == "synflood") {
+    trace = gen::build_syn_flood(gen::SynFloodConfig{});
+  } else if (scenario == "interception") {
+    trace = gen::build_interception(gen::InterceptionConfig{});
+  } else if (scenario == "bufferbloat") {
+    trace = gen::build_bufferbloat(gen::BufferbloatConfig{});
+  } else if (scenario == "stranded") {
+    trace = gen::build_stranded_attack(gen::StrandedAttackConfig{});
+  } else {
+    std::fprintf(stderr,
+                 "unknown scenario '%s' (campus|synflood|interception|"
+                 "bufferbloat|stranded)\n",
+                 scenario.c_str());
+    return 1;
+  }
+
+  const trace::TraceStats stats = trace::compute_stats(trace);
+  std::printf("scenario %s: %s packets, %s connections, %.1f s\n",
+              scenario.c_str(), format_count(stats.packets).c_str(),
+              format_count(stats.connections).c_str(),
+              static_cast<double>(stats.duration()) / 1e9);
+
+  if (!trace::write_binary_file(trace, output)) {
+    std::fprintf(stderr, "failed to write %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+
+  const std::string csv = output + ".csv";
+  if (trace::write_csv_file(trace, csv)) {
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  const std::string pcap = output + ".pcap";
+  if (trace::write_pcap_file(trace, pcap)) {
+    std::printf("wrote %s (open with wireshark/tcpdump)\n", pcap.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: real-time detection of a BGP traffic-interception attack from
+// Dart's RTT sample stream (the paper's Section 5.2 scenario).
+//
+// A long-lived TCP session between a campus host and a remote server is
+// rerouted through an adversary mid-trace, raising the path RTT from
+// ~25 ms to ~120 ms. Dart monitors the external leg; a windowed min-RTT
+// change detector suspects the attack on an abrupt rise and confirms it
+// one window later.
+//
+//   ./build/examples/interception_detection
+#include <cstdio>
+
+#include "analytics/change_detector.hpp"
+#include "common/strings.hpp"
+#include "core/dart_monitor.hpp"
+#include "gen/workload.hpp"
+
+int main() {
+  using namespace dart;
+
+  gen::InterceptionConfig scenario;
+  scenario.background_flows = 500;  // attack hides inside normal traffic
+  std::printf("generating interception scenario (attack at t=%.0f s)...\n",
+              static_cast<double>(scenario.attack_time) / 1e9);
+  const trace::Trace trace = gen::build_interception(scenario);
+  std::printf("trace: %s packets\n\n", format_count(trace.size()).c_str());
+
+  // Hardware-sized Dart instance monitoring the external leg.
+  core::DartConfig config;
+  config.rt_size = 1 << 16;
+  config.pt_size = 1 << 14;
+
+  // One change detector per monitored flow; here we watch the sensitive
+  // session the operator cares about (in practice: per /24, Section 3.3).
+  analytics::ChangeDetector detector{analytics::ChangeDetectorConfig{}};
+  const FourTuple monitored = gen::interception_tuple();
+  bool alerted = false;
+
+  core::DartMonitor dart(config, [&](const core::RttSample& sample) {
+    if (sample.tuple != monitored) return;
+    const auto event = detector.add(sample.rtt(), sample.ack_ts);
+    if (!event) return;
+    const char* kind =
+        event->state == analytics::DetectionState::kSuspected ? "SUSPECT"
+                                                              : "CONFIRM";
+    std::printf("[%7.2f s] %s: min RTT rose %s ms -> %s ms\n",
+                static_cast<double>(event->at_ts) / 1e9, kind,
+                format_double(to_ms(event->baseline_min), 1).c_str(),
+                format_double(to_ms(event->elevated_min), 1).c_str());
+    if (event->state == analytics::DetectionState::kConfirmed && !alerted) {
+      alerted = true;
+      std::printf(
+          "[%7.2f s] >>> interception confirmed %.2f s after onset: "
+          "stop sensitive traffic on this path <<<\n",
+          static_cast<double>(event->at_ts) / 1e9,
+          static_cast<double>(event->at_ts - scenario.attack_time) / 1e9);
+    }
+  });
+
+  dart.process_all(trace.packets());
+
+  if (!alerted) {
+    std::printf("no attack detected (unexpected for this scenario)\n");
+    return 1;
+  }
+  std::printf("\nDart stats: %s\n", dart.stats().summary().c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, run the full test suite, and regenerate
+# every table and figure of the paper's evaluation.
+#
+#   ./scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== configure & build =="
+cmake -B "$BUILD_DIR" -S "$REPO_DIR" -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR"
+
+echo
+echo "== test suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo
+echo "== paper tables & figures =="
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  "$bench"
+done
+
+echo
+echo "Done. Paper-vs-measured commentary lives in EXPERIMENTS.md."

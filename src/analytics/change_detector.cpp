@@ -1,0 +1,60 @@
+#include "analytics/change_detector.hpp"
+
+namespace dart::analytics {
+
+ChangeDetector::ChangeDetector(const ChangeDetectorConfig& config)
+    : config_(config), filter_(config.window_size) {}
+
+bool ChangeDetector::abrupt_rise(Timestamp from, Timestamp to) const {
+  if (to <= from) return false;
+  const bool relative =
+      static_cast<double>(to) >
+      static_cast<double>(from) * config_.rise_factor;
+  const bool absolute = to - from > config_.min_abs_rise;
+  return relative && absolute;
+}
+
+std::optional<DetectionEvent> ChangeDetector::add(Timestamp rtt,
+                                                  Timestamp sample_ts) {
+  auto window = filter_.add(rtt, sample_ts);
+  if (!window) return std::nullopt;
+  windows_.push_back(*window);
+
+  std::optional<DetectionEvent> emitted;
+  if (previous_min_) {
+    switch (state_) {
+      case DetectionState::kNormal:
+        if (abrupt_rise(*previous_min_, window->min_rtt)) {
+          state_ = DetectionState::kSuspected;
+          baseline_min_ = *previous_min_;
+          DetectionEvent event{DetectionState::kSuspected,
+                               window->window_index, window->window_end_ts,
+                               baseline_min_, window->min_rtt,
+                               window->samples_seen};
+          events_.push_back(event);
+          emitted = event;
+        }
+        break;
+      case DetectionState::kSuspected:
+        if (abrupt_rise(baseline_min_, window->min_rtt)) {
+          // The rise sustained for another window: confirmed.
+          state_ = DetectionState::kConfirmed;
+          DetectionEvent event{DetectionState::kConfirmed,
+                               window->window_index, window->window_end_ts,
+                               baseline_min_, window->min_rtt,
+                               window->samples_seen};
+          events_.push_back(event);
+          emitted = event;
+        } else {
+          state_ = DetectionState::kNormal;  // transient outlier window
+        }
+        break;
+      case DetectionState::kConfirmed:
+        break;  // latched until reset
+    }
+  }
+  previous_min_ = window->min_rtt;
+  return emitted;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,64 @@
+// Threshold-based change detection over windowed minimum RTTs (Section 5.2).
+//
+// The paper's interception detector: compute the min RTT per window of N
+// raw samples; when the min rises abruptly between consecutive windows the
+// attack is *suspected*, and when the rise sustains for another window it is
+// *confirmed*. Figure 8 shows suspicion almost immediately after onset and
+// confirmation one window later — 63 packets end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analytics/min_filter.hpp"
+
+namespace dart::analytics {
+
+struct ChangeDetectorConfig {
+  std::uint32_t window_size = 8;  ///< samples per window (paper: 8)
+  /// A rise is abrupt when new_min > old_min * rise_factor and
+  /// new_min - old_min > min_abs_rise.
+  double rise_factor = 2.0;
+  Timestamp min_abs_rise = msec(10);
+};
+
+enum class DetectionState : std::uint8_t {
+  kNormal,
+  kSuspected,
+  kConfirmed,
+};
+
+struct DetectionEvent {
+  DetectionState state = DetectionState::kNormal;
+  std::uint64_t window_index = 0;
+  Timestamp at_ts = 0;                ///< ACK time of the closing sample
+  Timestamp baseline_min = 0;         ///< min before the rise
+  Timestamp elevated_min = 0;         ///< min after the rise
+  std::uint64_t samples_seen = 0;     ///< cumulative samples at this point
+};
+
+class ChangeDetector {
+ public:
+  explicit ChangeDetector(const ChangeDetectorConfig& config);
+
+  /// Feed one raw RTT sample; may emit a suspicion or confirmation event.
+  std::optional<DetectionEvent> add(Timestamp rtt, Timestamp sample_ts);
+
+  DetectionState state() const { return state_; }
+  const std::vector<DetectionEvent>& events() const { return events_; }
+  const std::vector<WindowMin>& window_history() const { return windows_; }
+
+ private:
+  bool abrupt_rise(Timestamp from, Timestamp to) const;
+
+  ChangeDetectorConfig config_;
+  MinFilter filter_;
+  DetectionState state_ = DetectionState::kNormal;
+  std::optional<Timestamp> previous_min_;
+  Timestamp baseline_min_ = 0;  ///< min before the suspected rise
+  std::vector<DetectionEvent> events_;
+  std::vector<WindowMin> windows_;
+};
+
+}  // namespace dart::analytics

@@ -1,0 +1,67 @@
+#include "analytics/congestion.hpp"
+
+namespace dart::analytics {
+
+CongestionEstimator::CongestionEstimator(const CongestionConfig& config)
+    : config_(config) {}
+
+std::optional<CongestionAlarm> CongestionEstimator::record(
+    const core::CollapseEvent& event) {
+  const std::uint64_t window = event.ts / config_.window;
+  std::optional<CongestionAlarm> alarm;
+  if (!any_) {
+    any_ = true;
+    current_window_ = window;
+  } else if (window > current_window_) {
+    alarm = close_windows_up_to(window);
+  }
+  ++current_count_;
+  ++total_;
+  return alarm;
+}
+
+std::optional<CongestionAlarm> CongestionEstimator::close_windows_up_to(
+    std::uint64_t window) {
+  std::optional<CongestionAlarm> alarm;
+
+  // Close the current window and evaluate it against the baseline.
+  const std::uint64_t count = current_count_;
+  if (closed_.size() >= config_.baseline_windows &&
+      count >= config_.min_collapses) {
+    double baseline = 0.0;
+    for (std::size_t i = closed_.size() - config_.baseline_windows;
+         i < closed_.size(); ++i) {
+      baseline += static_cast<double>(closed_[i]);
+    }
+    baseline /= static_cast<double>(config_.baseline_windows);
+    if (static_cast<double>(count) > baseline * config_.rise_factor) {
+      alarm = CongestionAlarm{
+          static_cast<std::uint64_t>(closed_.size()), count, baseline};
+    }
+  }
+  closed_.push_back(count);
+  current_count_ = 0;
+
+  // Quiet windows in between count as zero.
+  for (std::uint64_t w = current_window_ + 1; w < window; ++w) {
+    closed_.push_back(0);
+  }
+  current_window_ = window;
+  return alarm;
+}
+
+PrefixCongestion::PrefixCongestion(unsigned prefix_length,
+                                   const CongestionConfig& config)
+    : prefix_length_(prefix_length), config_(config) {}
+
+std::optional<PrefixCongestion::PrefixAlarm> PrefixCongestion::record(
+    const core::CollapseEvent& event) {
+  const Ipv4Prefix prefix =
+      Ipv4Prefix::of(event.tuple.dst_ip, prefix_length_);
+  auto [it, inserted] = estimators_.try_emplace(prefix, config_);
+  const auto alarm = it->second.record(event);
+  if (!alarm) return std::nullopt;
+  return PrefixAlarm{prefix, *alarm};
+}
+
+}  // namespace dart::analytics

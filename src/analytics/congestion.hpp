@@ -1,0 +1,88 @@
+// Congestion inference from measurement-range collapses (Section 3.1).
+//
+// "The measurement ranges collapse more often [under congestion]... Dart
+// can be adjusted to report the frequency of measurement range collapses
+// for a flow as an indicator of congestion." Collapses are the one signal
+// Dart still produces when loss/reordering suppress RTT samples, so a
+// collapse-rate estimator complements the min-RTT change detector.
+//
+// The estimator buckets collapse events into fixed-duration time windows
+// (optionally per destination /p prefix) and flags a window whose rate
+// rises abruptly over the preceding baseline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ipv4.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::analytics {
+
+struct CongestionConfig {
+  Timestamp window = sec(1);
+  /// Alarm when a window's collapse count exceeds `rise_factor` times the
+  /// mean of the preceding `baseline_windows` windows (and at least
+  /// `min_collapses` absolute).
+  double rise_factor = 3.0;
+  std::uint32_t baseline_windows = 5;
+  std::uint64_t min_collapses = 10;
+};
+
+struct CongestionAlarm {
+  std::uint64_t window_index = 0;
+  std::uint64_t collapses = 0;
+  double baseline_mean = 0.0;
+};
+
+class CongestionEstimator {
+ public:
+  explicit CongestionEstimator(const CongestionConfig& config = {});
+
+  /// Feed one collapse event; may emit an alarm when its window closes
+  /// (i.e. when an event for a later window arrives).
+  std::optional<CongestionAlarm> record(const core::CollapseEvent& event);
+
+  /// Collapse counts per closed window (index 0 = first window with data).
+  const std::vector<std::uint64_t>& window_counts() const { return closed_; }
+
+  std::uint64_t total_collapses() const { return total_; }
+
+ private:
+  std::optional<CongestionAlarm> close_windows_up_to(std::uint64_t window);
+
+  CongestionConfig config_;
+  std::vector<std::uint64_t> closed_;
+  std::uint64_t current_window_ = 0;
+  std::uint64_t current_count_ = 0;
+  bool any_ = false;
+  std::uint64_t total_ = 0;
+};
+
+/// Per-prefix collapse aggregation: one estimator per destination /p,
+/// pinpointing *which* subnet's path is congested.
+class PrefixCongestion {
+ public:
+  explicit PrefixCongestion(unsigned prefix_length = 24,
+                            const CongestionConfig& config = {});
+
+  struct PrefixAlarm {
+    Ipv4Prefix prefix;
+    CongestionAlarm alarm;
+  };
+
+  std::optional<PrefixAlarm> record(const core::CollapseEvent& event);
+
+  const std::map<Ipv4Prefix, CongestionEstimator>& estimators() const {
+    return estimators_;
+  }
+
+ private:
+  unsigned prefix_length_;
+  CongestionConfig config_;
+  std::map<Ipv4Prefix, CongestionEstimator> estimators_;
+};
+
+}  // namespace dart::analytics

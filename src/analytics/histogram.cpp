@@ -1,0 +1,83 @@
+#include "analytics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dart::analytics {
+
+LogHistogram::LogHistogram(Timestamp min_value, Timestamp max_value,
+                           std::uint32_t bins_per_decade) {
+  const double lo = std::log10(static_cast<double>(std::max<Timestamp>(
+      min_value, 1)));
+  const double hi = std::log10(static_cast<double>(
+      std::max(max_value, min_value + 1)));
+  log_min_ = lo;
+  log_step_ = 1.0 / static_cast<double>(std::max<std::uint32_t>(
+      bins_per_decade, 1));
+  const std::size_t bins =
+      static_cast<std::size_t>(std::ceil((hi - lo) / log_step_)) + 1;
+  counts_.assign(bins, 0);
+}
+
+std::size_t LogHistogram::bin_of(Timestamp value) const {
+  const double lv =
+      std::log10(static_cast<double>(std::max<Timestamp>(value, 1)));
+  const double raw = (lv - log_min_) / log_step_;
+  if (raw <= 0.0) return 0;
+  const std::size_t bin = static_cast<std::size_t>(raw);
+  return std::min(bin, counts_.size() - 1);
+}
+
+void LogHistogram::add(Timestamp value) {
+  if (total_ == 0) {
+    seen_min_ = value;
+    seen_max_ = value;
+  } else {
+    seen_min_ = std::min(seen_min_, value);
+    seen_max_ = std::max(seen_max_, value);
+  }
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+double LogHistogram::bin_value(std::size_t i) const {
+  // Geometric midpoint of the bin.
+  const double lo = log_min_ + static_cast<double>(i) * log_step_;
+  return std::pow(10.0, lo + log_step_ / 2.0);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) *
+                        static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) return bin_value(i);
+  }
+  return bin_value(counts_.size() - 1);
+}
+
+double LogHistogram::cdf_at(Timestamp threshold) const {
+  if (total_ == 0) return 0.0;
+  const std::size_t limit = bin_of(threshold);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= limit; ++i) cumulative += counts_[i];
+  return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.total_ == 0) return;
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0) {
+    seen_min_ = other.seen_min_;
+    seen_max_ = other.seen_max_;
+  } else {
+    seen_min_ = std::min(seen_min_, other.seen_min_);
+    seen_max_ = std::max(seen_max_, other.seen_max_);
+  }
+  total_ += other.total_;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,53 @@
+// Logarithmically binned streaming histogram for RTT distributions.
+//
+// Used where keeping every sample is wasteful (per-prefix aggregation) and
+// for printing the CDF/CCDF series of Figures 6, 9b, and 9c. Bin edges grow
+// geometrically from `min_value`, giving constant relative resolution across
+// the microsecond-to-minute RTT range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dart::analytics {
+
+class LogHistogram {
+ public:
+  /// Bins span [min_value, max_value] with `bins_per_decade` geometric bins
+  /// per 10x; values outside are clamped to the edge bins.
+  LogHistogram(Timestamp min_value = usec(10), Timestamp max_value = sec(120),
+               std::uint32_t bins_per_decade = 20);
+
+  void add(Timestamp value);
+
+  std::uint64_t count() const { return total_; }
+  Timestamp min() const { return seen_min_; }
+  Timestamp max() const { return seen_max_; }
+
+  /// Approximate quantile (q in [0, 1]) via bin interpolation.
+  double quantile(double q) const;
+
+  /// Fraction of values <= threshold.
+  double cdf_at(Timestamp threshold) const;
+
+  /// Representative value (geometric midpoint) of bin `i`.
+  double bin_value(std::size_t i) const;
+  const std::vector<std::uint64_t>& bins() const { return counts_; }
+
+  /// Merge another histogram with identical binning.
+  void merge(const LogHistogram& other);
+
+ private:
+  std::size_t bin_of(Timestamp value) const;
+
+  double log_min_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  Timestamp seen_min_ = 0;
+  Timestamp seen_max_ = 0;
+};
+
+}  // namespace dart::analytics

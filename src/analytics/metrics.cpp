@@ -1,0 +1,36 @@
+#include "analytics/metrics.hpp"
+
+#include <cmath>
+
+namespace dart::analytics {
+
+double collection_error(const PercentileSet& baseline,
+                        const PercentileSet& measured, double p) {
+  const double base = baseline.percentile(p);
+  if (base == 0.0) return 0.0;
+  return 100.0 * (base - measured.percentile(p)) / base;
+}
+
+AccuracyReport compare(const PercentileSet& baseline,
+                       const PercentileSet& measured) {
+  AccuracyReport report;
+  report.error_p50 = collection_error(baseline, measured, 50);
+  report.error_p95 = collection_error(baseline, measured, 95);
+  report.error_p99 = collection_error(baseline, measured, 99);
+
+  double worst = 0.0;
+  for (int p = 5; p <= 95; ++p) {
+    const double err = collection_error(baseline, measured, p);
+    if (std::abs(err) > std::abs(worst)) worst = err;
+  }
+  report.max_error_5_95 = worst;
+
+  report.fraction_collected =
+      baseline.count() == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(measured.count()) /
+                static_cast<double>(baseline.count());
+  return report;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,32 @@
+// The paper's accuracy metrics (Section 6.2).
+//
+//   * RTT collection error at percentile p: the difference between the
+//     baseline's and Dart's p-th percentile RTT, normalized by the
+//     baseline's (positive = Dart underestimates, negative = overestimates);
+//   * max error over p in [5, 95]: worst-case accuracy;
+//   * fraction of RTT samples collected: Dart's sample count over the
+//     baseline's, as a percentage.
+#pragma once
+
+#include "analytics/percentile.hpp"
+
+namespace dart::analytics {
+
+struct AccuracyReport {
+  double error_p50 = 0.0;  ///< percent
+  double error_p95 = 0.0;
+  double error_p99 = 0.0;
+  double max_error_5_95 = 0.0;  ///< max |error| over integer p in [5, 95],
+                                ///< reported signed at the argmax
+  double fraction_collected = 0.0;  ///< percent
+};
+
+/// Signed collection error (in percent) at percentile `p`.
+double collection_error(const PercentileSet& baseline,
+                        const PercentileSet& measured, double p);
+
+/// Full report per the paper's definitions. Both sets must be non-empty.
+AccuracyReport compare(const PercentileSet& baseline,
+                       const PercentileSet& measured);
+
+}  // namespace dart::analytics

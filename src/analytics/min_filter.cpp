@@ -1,0 +1,25 @@
+#include "analytics/min_filter.hpp"
+
+#include <algorithm>
+
+namespace dart::analytics {
+
+std::optional<WindowMin> MinFilter::add(Timestamp rtt, Timestamp sample_ts) {
+  ++samples_seen_;
+  if (in_window_ == 0) {
+    current_min_ = rtt;
+  } else {
+    current_min_ = std::min(current_min_, rtt);
+  }
+  if (++in_window_ < window_size_) return std::nullopt;
+
+  WindowMin out;
+  out.window_index = windows_emitted_++;
+  out.min_rtt = current_min_;
+  out.window_end_ts = sample_ts;
+  out.samples_seen = samples_seen_;
+  in_window_ = 0;
+  return out;
+}
+
+}  // namespace dart::analytics

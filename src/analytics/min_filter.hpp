@@ -1,0 +1,48 @@
+// Windowed min-filtering of RTT samples (Section 3.3).
+//
+// Tracking the minimum RTT over a window of samples isolates propagation
+// delay from end-host noise (delayed ACKs, scheduling) and outliers. The
+// paper's interception detector (Figure 8) consumes exactly this stream:
+// the minimum over windows of 8 consecutive raw samples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dart::analytics {
+
+struct WindowMin {
+  std::uint64_t window_index = 0;
+  Timestamp min_rtt = 0;
+  Timestamp window_end_ts = 0;      ///< ACK timestamp of the closing sample
+  std::uint64_t samples_seen = 0;   ///< cumulative samples at window close
+};
+
+/// Emits one WindowMin per `window_size` consecutive samples.
+class MinFilter {
+ public:
+  explicit MinFilter(std::uint32_t window_size) : window_size_(window_size) {}
+
+  /// Feed one sample; returns the window summary when a window closes.
+  std::optional<WindowMin> add(Timestamp rtt, Timestamp sample_ts);
+
+  /// Minimum of the (possibly partial) current window, if any sample seen.
+  std::optional<Timestamp> current_min() const {
+    return in_window_ == 0 ? std::nullopt : std::make_optional(current_min_);
+  }
+
+  std::uint32_t window_size() const { return window_size_; }
+  std::uint64_t samples_seen() const { return samples_seen_; }
+
+ private:
+  std::uint32_t window_size_;
+  std::uint32_t in_window_ = 0;
+  Timestamp current_min_ = 0;
+  std::uint64_t windows_emitted_ = 0;
+  std::uint64_t samples_seen_ = 0;
+};
+
+}  // namespace dart::analytics

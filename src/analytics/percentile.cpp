@@ -1,0 +1,64 @@
+#include "analytics/percentile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dart::analytics {
+
+void PercentileSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double PercentileSet::percentile(double p) const {
+  assert(!values_.empty());
+  ensure_sorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(values_[lo]) * (1.0 - frac) +
+         static_cast<double>(values_[hi]) * frac;
+}
+
+Timestamp PercentileSet::min() const {
+  assert(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+Timestamp PercentileSet::max() const {
+  assert(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double PercentileSet::mean() const {
+  if (values_.empty()) return 0.0;
+  const double total = std::accumulate(
+      values_.begin(), values_.end(), 0.0,
+      [](double acc, Timestamp v) { return acc + static_cast<double>(v); });
+  return total / static_cast<double>(values_.size());
+}
+
+double PercentileSet::cdf_at(Timestamp threshold) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it =
+      std::upper_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+const std::vector<Timestamp>& PercentileSet::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,53 @@
+// Exact percentile computation over collected RTT samples.
+//
+// The evaluation metrics (Section 6.2) are defined on percentiles of the
+// RTT distribution: error at p = {50, 95, 99} and the maximum error over
+// p in [5, 95]. Sample volumes here are a few million, so an exact sorted
+// set is simpler and more trustworthy than a sketch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dart::analytics {
+
+class PercentileSet {
+ public:
+  void add(Timestamp value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Percentile with linear interpolation between order statistics;
+  /// `p` in [0, 100]. Requires a non-empty set.
+  double percentile(double p) const;
+
+  Timestamp min() const;
+  Timestamp max() const;
+  double mean() const;
+
+  /// Fraction of values <= threshold (one CDF point).
+  double cdf_at(Timestamp threshold) const;
+
+  /// Fraction of values > threshold (one CCDF point).
+  double ccdf_at(Timestamp threshold) const {
+    return 1.0 - cdf_at(threshold);
+  }
+
+  const std::vector<Timestamp>& sorted_values() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<Timestamp> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dart::analytics

@@ -1,0 +1,36 @@
+#include "analytics/prefix_agg.hpp"
+
+#include <algorithm>
+
+namespace dart::analytics {
+
+PrefixAggregator::PrefixAggregator(unsigned prefix_length,
+                                   bool by_destination)
+    : prefix_length_(prefix_length), by_destination_(by_destination) {}
+
+void PrefixAggregator::add(const core::RttSample& sample) {
+  const Ipv4Addr addr =
+      by_destination_ ? sample.tuple.dst_ip : sample.tuple.src_ip;
+  PrefixStats& stats = prefixes_[Ipv4Prefix::of(addr, prefix_length_)];
+  const Timestamp rtt = sample.rtt();
+  if (stats.samples == 0 || rtt < stats.min_rtt) stats.min_rtt = rtt;
+  ++stats.samples;
+  stats.histogram.add(rtt);
+}
+
+std::vector<std::pair<Ipv4Prefix, const PrefixStats*>> PrefixAggregator::top(
+    std::size_t n) const {
+  std::vector<std::pair<Ipv4Prefix, const PrefixStats*>> out;
+  out.reserve(prefixes_.size());
+  for (const auto& [prefix, stats] : prefixes_) {
+    out.emplace_back(prefix, &stats);
+  }
+  std::partial_sort(out.begin(), out.begin() + std::min(n, out.size()),
+                    out.end(), [](const auto& a, const auto& b) {
+                      return a.second->samples > b.second->samples;
+                    });
+  out.resize(std::min(n, out.size()));
+  return out;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,51 @@
+// Per-prefix RTT aggregation (Sections 3.1 and 3.3).
+//
+// Dart can aggregate samples of flows destined to the same subnet (e.g.
+// /24s) before analyzing them, giving a more complete view of a target
+// network's health than any single flow. Each prefix keeps a streaming
+// histogram plus min/count, enough for the min-filter analytics and the
+// per-subnet CDFs of Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analytics/histogram.hpp"
+#include "common/ipv4.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::analytics {
+
+struct PrefixStats {
+  std::uint64_t samples = 0;
+  Timestamp min_rtt = 0;
+  LogHistogram histogram;
+};
+
+class PrefixAggregator {
+ public:
+  /// `prefix_length` of the aggregation buckets (paper example: /24).
+  /// `by_destination`: bucket by the data-direction destination (the remote
+  /// server) — the natural choice for external-leg monitoring; when false,
+  /// bucket by source (the internal client), used for internal-leg subnets.
+  explicit PrefixAggregator(unsigned prefix_length = 24,
+                            bool by_destination = true);
+
+  void add(const core::RttSample& sample);
+
+  const std::map<Ipv4Prefix, PrefixStats>& prefixes() const {
+    return prefixes_;
+  }
+
+  /// Prefixes ordered by sample count, descending.
+  std::vector<std::pair<Ipv4Prefix, const PrefixStats*>> top(
+      std::size_t n) const;
+
+ private:
+  unsigned prefix_length_;
+  bool by_destination_;
+  std::map<Ipv4Prefix, PrefixStats> prefixes_;
+};
+
+}  // namespace dart::analytics

@@ -1,0 +1,29 @@
+#include "analytics/prefix_detector.hpp"
+
+namespace dart::analytics {
+
+PrefixChangeDetector::PrefixChangeDetector(
+    unsigned prefix_length, const ChangeDetectorConfig& config)
+    : prefix_length_(prefix_length), config_(config) {}
+
+std::optional<PrefixChangeDetector::PrefixEvent> PrefixChangeDetector::add(
+    const core::RttSample& sample) {
+  const Ipv4Prefix prefix =
+      Ipv4Prefix::of(sample.tuple.dst_ip, prefix_length_);
+  auto [it, inserted] = detectors_.try_emplace(prefix, config_);
+  const auto event = it->second.add(sample.rtt(), sample.ack_ts);
+  if (!event) return std::nullopt;
+  return PrefixEvent{prefix, *event};
+}
+
+std::vector<Ipv4Prefix> PrefixChangeDetector::confirmed() const {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& [prefix, detector] : detectors_) {
+    if (detector.state() == DetectionState::kConfirmed) {
+      out.push_back(prefix);
+    }
+  }
+  return out;
+}
+
+}  // namespace dart::analytics

@@ -1,0 +1,48 @@
+// Fleet-wide interception/latency-shift detection: one windowed min-RTT
+// change detector per destination prefix (Sections 3.3 and 5.2).
+//
+// The paper's operator story: aggregate RTT samples per /24 and alarm when
+// a prefix's propagation delay jumps — the per-prefix generalization of the
+// Figure 8 detector. Detectors are created lazily per prefix; prefixes with
+// too few samples never complete a window and stay silent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "analytics/change_detector.hpp"
+#include "common/ipv4.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::analytics {
+
+class PrefixChangeDetector {
+ public:
+  struct PrefixEvent {
+    Ipv4Prefix prefix;
+    DetectionEvent event;
+  };
+
+  explicit PrefixChangeDetector(
+      unsigned prefix_length = 24,
+      const ChangeDetectorConfig& config = ChangeDetectorConfig{});
+
+  /// Feed one sample; may emit a suspicion/confirmation for its prefix.
+  std::optional<PrefixEvent> add(const core::RttSample& sample);
+
+  /// Prefixes whose detectors have confirmed a sustained RTT rise.
+  std::vector<Ipv4Prefix> confirmed() const;
+
+  std::size_t tracked_prefixes() const { return detectors_.size(); }
+  const std::map<Ipv4Prefix, ChangeDetector>& detectors() const {
+    return detectors_;
+  }
+
+ private:
+  unsigned prefix_length_;
+  ChangeDetectorConfig config_;
+  std::map<Ipv4Prefix, ChangeDetector> detectors_;
+};
+
+}  // namespace dart::analytics

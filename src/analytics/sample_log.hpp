@@ -1,0 +1,31 @@
+// RTT sample reports (Section 5: Dart "collects raw RTT samples and sends
+// them to a collection server").
+//
+// CSV writer/reader for sample streams so detection pipelines can run
+// offline on collected reports, mirroring the paper's testbed where the
+// switch exports reports and a server runs the change detector.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rtt_sample.hpp"
+
+namespace dart::analytics {
+
+/// Header + one row per sample:
+///   src_ip,src_port,dst_ip,dst_port,eack,seq_ts_ns,ack_ts_ns,rtt_ns,leg
+bool write_samples_csv(const std::vector<core::RttSample>& samples,
+                       std::ostream& out);
+bool write_samples_csv_file(const std::vector<core::RttSample>& samples,
+                            const std::string& path);
+
+/// Parse a CSV produced by write_samples_csv; nullopt on malformed input.
+std::optional<std::vector<core::RttSample>> read_samples_csv(
+    std::istream& in);
+std::optional<std::vector<core::RttSample>> read_samples_csv_file(
+    const std::string& path);
+
+}  // namespace dart::analytics

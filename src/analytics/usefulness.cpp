@@ -1,0 +1,5 @@
+#include "analytics/usefulness.hpp"
+
+// MinFilterUsefulness is header-only; this translation unit anchors the
+// class's vtable.
+namespace dart::analytics {}

@@ -1,0 +1,40 @@
+// Min-filter-driven preemptive discard (Section 3.3).
+//
+// When the analytics only needs the minimum RTT per window, a Packet
+// Tracker record that has already waited longer than the window's current
+// minimum cannot improve the result: even if its ACK arrived right now, the
+// sample would exceed the minimum. Recirculating it wastes bandwidth, so
+// Dart drops it at eviction time instead.
+//
+// Wire-up: install as the monitor's UsefulnessFilter and feed it every
+// emitted sample (it advances the window and maintains the current min).
+#pragma once
+
+#include "analytics/min_filter.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::analytics {
+
+class MinFilterUsefulness final : public core::UsefulnessFilter {
+ public:
+  explicit MinFilterUsefulness(std::uint32_t window_size)
+      : filter_(window_size) {}
+
+  /// Feed each emitted sample (hook this to the monitor's sample callback).
+  void observe(const core::RttSample& sample) {
+    filter_.add(sample.rtt(), sample.ack_ts);
+  }
+
+  bool useful(Timestamp seq_ts, Timestamp now) const override {
+    const auto current = filter_.current_min();
+    if (!current) return true;  // no reference yet: keep everything
+    return now - seq_ts < *current;
+  }
+
+  const MinFilter& filter() const { return filter_; }
+
+ private:
+  MinFilter filter_;
+};
+
+}  // namespace dart::analytics

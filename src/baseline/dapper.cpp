@@ -1,0 +1,76 @@
+#include "baseline/dapper.hpp"
+
+namespace dart::baseline {
+
+DapperLike::DapperLike(const DapperConfig& config,
+                       core::SampleCallback on_sample)
+    : config_(config), on_sample_(std::move(on_sample)) {}
+
+void DapperLike::process(const PacketRecord& packet) {
+  ++stats_.packets_processed;
+  if (!config_.include_syn && packet.is_syn()) return;
+
+  const bool external = config_.leg == core::LegMode::kExternal ||
+                        config_.leg == core::LegMode::kBoth;
+  const bool internal = config_.leg == core::LegMode::kInternal ||
+                        config_.leg == core::LegMode::kBoth;
+
+  if (external) {
+    if (packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet);
+    } else if (!packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 core::LegMode::kExternal);
+    }
+  }
+  if (internal) {
+    if (!packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet);
+    } else if (packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 core::LegMode::kInternal);
+    }
+  }
+}
+
+void DapperLike::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+void DapperLike::handle_seq(const FourTuple& tuple,
+                            const PacketRecord& packet) {
+  Pending& pending = flows_[tuple];
+  if (pending.armed) {
+    ++stats_.skipped;  // one measurement in flight per flow, per Dapper
+    return;
+  }
+  pending.armed = true;
+  pending.eack = packet.expected_ack();
+  pending.ts = packet.ts;
+  ++stats_.armed;
+}
+
+void DapperLike::handle_ack(const FourTuple& data_tuple, SeqNum ack,
+                            Timestamp now, core::LegMode leg) {
+  auto it = flows_.find(data_tuple);
+  if (it == flows_.end() || !it->second.armed) return;
+  Pending& pending = it->second;
+
+  if (ack == pending.eack) {
+    ++stats_.samples;
+    if (on_sample_) {
+      core::RttSample sample;
+      sample.tuple = data_tuple;
+      sample.eack = ack;
+      sample.seq_ts = pending.ts;
+      sample.ack_ts = now;
+      sample.leg = leg;
+      on_sample_(sample);
+    }
+    pending.armed = false;
+  } else if (seq_gt(ack, pending.eack)) {
+    pending.armed = false;  // cumulative ACK skipped past our packet
+  }
+}
+
+}  // namespace dart::baseline

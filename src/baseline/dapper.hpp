@@ -1,0 +1,57 @@
+// A Dapper-style single-sample tracker (Ghasemi et al., Section 8).
+//
+// Dapper tracks at most one outstanding SEQ per flow: it must wait for that
+// packet's ACK before arming the next measurement. The paper's critique —
+// too few samples per unit time for aggregate analytics — falls out directly
+// when this baseline is compared against Dart on the same trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "common/packet.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::baseline {
+
+struct DapperConfig {
+  bool include_syn = false;
+  core::LegMode leg = core::LegMode::kExternal;
+};
+
+struct DapperStats {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t armed = 0;     ///< measurements started
+  std::uint64_t skipped = 0;   ///< SEQs ignored while a measurement pending
+  std::uint64_t samples = 0;
+};
+
+class DapperLike {
+ public:
+  explicit DapperLike(const DapperConfig& config,
+                      core::SampleCallback on_sample = {});
+
+  void process(const PacketRecord& packet);
+  void process_all(std::span<const PacketRecord> packets);
+
+  const DapperStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    bool armed = false;
+    SeqNum eack = 0;
+    Timestamp ts = 0;
+  };
+
+  void handle_seq(const FourTuple& tuple, const PacketRecord& packet);
+  void handle_ack(const FourTuple& data_tuple, SeqNum ack, Timestamp now,
+                  core::LegMode leg);
+
+  DapperConfig config_;
+  core::SampleCallback on_sample_;
+  DapperStats stats_;
+  std::unordered_map<FourTuple, Pending, FourTupleHash> flows_;
+};
+
+}  // namespace dart::baseline

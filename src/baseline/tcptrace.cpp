@@ -1,0 +1,188 @@
+#include "baseline/tcptrace.hpp"
+
+namespace dart::baseline {
+
+TcpTrace::TcpTrace(const TcpTraceConfig& config,
+                   core::SampleCallback on_sample)
+    : config_(config), on_sample_(std::move(on_sample)) {}
+
+std::uint64_t TcpTrace::unwrap(SeqNum wire, std::uint64_t ref) {
+  // Candidate positions with the same low 32 bits nearest to `ref`.
+  const std::uint64_t epoch = ref >> 32;
+  std::uint64_t best = (epoch << 32) | wire;
+  std::uint64_t best_dist = best > ref ? best - ref : ref - best;
+  for (std::int64_t delta : {-1, 1}) {
+    const std::int64_t e = static_cast<std::int64_t>(epoch) + delta;
+    if (e < 0) continue;
+    const std::uint64_t candidate =
+        (static_cast<std::uint64_t>(e) << 32) | wire;
+    const std::uint64_t dist =
+        candidate > ref ? candidate - ref : ref - candidate;
+    if (dist < best_dist) {
+      best = candidate;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+bool TcpTrace::overlaps_seen(const FlowState& flow, std::uint64_t start,
+                             std::uint64_t end) {
+  // `seen` maps range start -> range end, ranges disjoint and sorted.
+  auto it = flow.seen.upper_bound(start);
+  if (it != flow.seen.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) return true;  // previous range covers start
+  }
+  return it != flow.seen.end() && it->first < end;
+}
+
+void TcpTrace::merge_seen(FlowState& flow, std::uint64_t start,
+                          std::uint64_t end) {
+  auto it = flow.seen.upper_bound(start);
+  if (it != flow.seen.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = flow.seen.erase(prev);
+    }
+  }
+  while (it != flow.seen.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = flow.seen.erase(it);
+  }
+  flow.seen.emplace(start, end);
+}
+
+void TcpTrace::process(const PacketRecord& packet) {
+  ++stats_.packets_processed;
+  if (!config_.include_syn && packet.is_syn()) return;
+
+  const bool external = config_.leg == core::LegMode::kExternal ||
+                        config_.leg == core::LegMode::kBoth;
+  const bool internal = config_.leg == core::LegMode::kInternal ||
+                        config_.leg == core::LegMode::kBoth;
+
+  if (external) {
+    if (packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet, core::LegMode::kExternal);
+    } else if (!packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 core::LegMode::kExternal);
+    }
+  }
+  if (internal) {
+    if (!packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet, core::LegMode::kInternal);
+    } else if (packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 core::LegMode::kInternal);
+    }
+  }
+}
+
+void TcpTrace::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+void TcpTrace::handle_seq(const FourTuple& tuple, const PacketRecord& packet,
+                          core::LegMode leg) {
+  (void)leg;
+  auto [it, inserted] = flows_.try_emplace(tuple);
+  FlowState& flow = it->second;
+  if (inserted) ++stats_.flows;
+
+  std::uint64_t start;
+  if (!flow.initialized) {
+    flow.initialized = true;
+    start = packet.seq;
+    flow.highest_ack = start;
+  } else {
+    start = unwrap(packet.seq, flow.ref);
+  }
+  const std::uint64_t end = start + packet.seq_span();
+  flow.ref = end;
+
+  if (overlaps_seen(flow, start, end)) {
+    // Retransmission: Karn's rule — every outstanding segment overlapping
+    // this range becomes ineligible for sampling, including the new copy.
+    ++stats_.retransmissions;
+    auto seg = flow.outstanding.upper_bound(start);
+    while (seg != flow.outstanding.end() && seg->second.start < end) {
+      seg->second.retransmitted = true;
+      ++seg;
+    }
+    // Track the retransmitted copy itself (marked ambiguous) so a future
+    // exact-match ACK is consumed without emitting a sample.
+    auto& record = flow.outstanding[end];
+    record.start = start;
+    record.ts = packet.ts;
+    record.retransmitted = true;
+    merge_seen(flow, start, end);
+    return;
+  }
+
+  merge_seen(flow, start, end);
+  Segment segment;
+  segment.start = start;
+  segment.ts = packet.ts;
+  flow.outstanding.emplace(end, segment);
+  ++stats_.segments_tracked;
+}
+
+void TcpTrace::handle_ack(const FourTuple& data_tuple, SeqNum ack,
+                          Timestamp now, core::LegMode leg) {
+  auto it = flows_.find(data_tuple);
+  if (it == flows_.end() || !it->second.initialized) return;
+  FlowState& flow = it->second;
+
+  const std::uint64_t ack64 = unwrap(ack, flow.ref);
+  if (flow.any_ack && ack64 <= flow.highest_ack) return;  // dup or stale
+  flow.any_ack = true;
+  flow.highest_ack = ack64;
+
+  auto exact = flow.outstanding.find(ack64);
+  if (exact != flow.outstanding.end() && !exact->second.retransmitted) {
+    ++stats_.samples;
+    if (on_sample_) {
+      core::RttSample sample;
+      sample.tuple = data_tuple;
+      sample.eack = ack;
+      sample.seq_ts = exact->second.ts;
+      sample.ack_ts = now;
+      sample.leg = leg;
+      on_sample_(sample);
+    }
+    if (config_.emulate_quadrant_bug) {
+      // tcptrace splits the 32-bit space into four quadrants and emits an
+      // extra sample when a segment straddles a quadrant boundary.
+      const std::uint64_t quadrant_mask = 0x3FFFFFFFULL;
+      const std::uint64_t q_start =
+          (exact->second.start & 0xFFFFFFFFULL) >> 30;
+      const std::uint64_t q_end = ((ack64 - 1) & 0xFFFFFFFFULL) >> 30;
+      (void)quadrant_mask;
+      if (q_start != q_end) {
+        ++stats_.samples;
+        ++stats_.quadrant_extra_samples;
+        if (on_sample_) {
+          core::RttSample sample;
+          sample.tuple = data_tuple;
+          sample.eack = ack;
+          sample.seq_ts = exact->second.ts;
+          sample.ack_ts = now;
+          sample.leg = leg;
+          on_sample_(sample);
+        }
+      }
+    }
+  }
+
+  // Retire everything the cumulative ACK covers.
+  auto seg = flow.outstanding.begin();
+  while (seg != flow.outstanding.end() && seg->first <= ack64) {
+    seg = flow.outstanding.erase(seg);
+  }
+}
+
+}  // namespace dart::baseline

@@ -1,0 +1,26 @@
+// tcptrace_const: the paper's constant-space baseline (Section 6.2).
+//
+// The paper observes that Dart with unlimited, fully associative memory is
+// "a variant of tcptrace with constant space" — identical matching
+// semantics, but only one measurement range per flow. It is exactly a
+// DartMonitor with unbounded RT and PT tables; this header provides the
+// canonical configuration so benches and tests construct it uniformly.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/dart_monitor.hpp"
+
+namespace dart::baseline {
+
+inline core::DartConfig tcptrace_const_config(
+    bool include_syn = false,
+    core::LegMode leg = core::LegMode::kExternal) {
+  core::DartConfig config;
+  config.rt_size = 0;  // unbounded, fully associative
+  config.pt_size = 0;
+  config.include_syn = include_syn;
+  config.leg = leg;
+  return config;
+}
+
+}  // namespace dart::baseline

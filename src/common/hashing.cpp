@@ -1,0 +1,43 @@
+#include "common/hashing.hpp"
+
+#include <array>
+
+namespace dart {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1U) ? 0xEDB88320U : 0U);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+constexpr std::uint32_t crc_step(std::uint32_t crc,
+                                 std::uint8_t byte) noexcept {
+  return (crc >> 8) ^ kCrcTable[(crc ^ byte) & 0xFFU];
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t byte : data) crc = crc_step(crc, byte);
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32_u32(std::uint32_t word, std::uint32_t seed) noexcept {
+  std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (int shift = 0; shift < 32; shift += 8) {
+    crc = crc_step(crc, static_cast<std::uint8_t>(word >> shift));
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace dart

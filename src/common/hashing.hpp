@@ -1,0 +1,45 @@
+// Hash primitives for the data-plane tables.
+//
+// The Tofino provides CRC-based hash units; each pipeline stage computing a
+// table index uses an independently seeded hash. We model that with a
+// `HashFamily`: member i is a distinct 64-bit mixer, so a k-stage Packet
+// Tracker probes k independent locations for the same record key.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dart {
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit bijective mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). The Tofino hash units are CRC
+/// based; we provide CRC-32 both for fidelity and as an independent check on
+/// signature collision behaviour in tests.
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental CRC-32 over a 32-bit word (little-endian byte order).
+std::uint32_t crc32_u32(std::uint32_t word, std::uint32_t seed = 0) noexcept;
+
+/// A family of independent hash functions indexed by stage number.
+class HashFamily {
+ public:
+  explicit constexpr HashFamily(std::uint64_t seed) : seed_(seed) {}
+
+  /// Hash `key` with the `stage`-th member of the family.
+  constexpr std::uint64_t operator()(std::uint64_t key,
+                                     std::uint32_t stage) const noexcept {
+    return mix64(key ^ mix64(seed_ + 0x632be59bd9b4e019ULL * (stage + 1)));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dart

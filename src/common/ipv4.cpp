@@ -1,0 +1,63 @@
+#include "common/ipv4.hpp"
+
+#include <charconv>
+
+namespace dart {
+namespace {
+
+// Parse a decimal integer bounded by `max` from the front of `text`,
+// consuming the digits. Returns nullopt on failure.
+std::optional<std::uint32_t> parse_bounded(std::string_view& text,
+                                           std::uint32_t max) {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t addr = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto value = parse_bounded(text, 255);
+    if (!value) return std::nullopt;
+    addr = (addr << 8) | *value;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr{addr};
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((addr_ >> shift) & 0xFFU);
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  auto length = parse_bounded(len_text, 32);
+  if (!length || !len_text.empty()) return std::nullopt;
+  return Ipv4Prefix{*addr, *length};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dart

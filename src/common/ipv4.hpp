@@ -1,0 +1,93 @@
+// IPv4 addresses and prefixes.
+//
+// The Dart analytics module aggregates RTT samples by destination prefix
+// (e.g. /24) before running change detection (Section 3.1, 3.3). Addresses
+// are stored host-order so prefix masks are plain shifts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dart {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return addr_; }
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4Addr lhs, Ipv4Addr rhs) {
+    return lhs.addr_ == rhs.addr_;
+  }
+  friend constexpr bool operator!=(Ipv4Addr lhs, Ipv4Addr rhs) {
+    return lhs.addr_ != rhs.addr_;
+  }
+  friend constexpr bool operator<(Ipv4Addr lhs, Ipv4Addr rhs) {
+    return lhs.addr_ < rhs.addr_;
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// A CIDR prefix such as 10.8.0.0/16.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// `length` must be in [0, 32]; the base address is masked on construction
+  /// so that Ipv4Prefix(1.2.3.4, 24) == Ipv4Prefix(1.2.3.0, 24).
+  constexpr Ipv4Prefix(Ipv4Addr base, unsigned length)
+      : length_(length > 32 ? 32 : length),
+        base_(Ipv4Addr{base.value() & mask(length_)}) {}
+
+  constexpr Ipv4Addr base() const { return base_; }
+  constexpr unsigned length() const { return length_; }
+
+  constexpr bool contains(Ipv4Addr addr) const {
+    return (addr.value() & mask(length_)) == base_.value();
+  }
+
+  /// The /`length` prefix that contains `addr`.
+  static constexpr Ipv4Prefix of(Ipv4Addr addr, unsigned length) {
+    return Ipv4Prefix{addr, length};
+  }
+
+  /// Parse "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const Ipv4Prefix& lhs,
+                                   const Ipv4Prefix& rhs) {
+    return lhs.base_ == rhs.base_ && lhs.length_ == rhs.length_;
+  }
+  friend constexpr bool operator<(const Ipv4Prefix& lhs,
+                                  const Ipv4Prefix& rhs) {
+    if (lhs.base_.value() != rhs.base_.value())
+      return lhs.base_ < rhs.base_;
+    return lhs.length_ < rhs.length_;
+  }
+
+ private:
+  static constexpr std::uint32_t mask(unsigned length) {
+    return length == 0 ? 0U : ~std::uint32_t{0} << (32U - length);
+  }
+
+  unsigned length_ = 0;
+  Ipv4Addr base_{};
+};
+
+}  // namespace dart

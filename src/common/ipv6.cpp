@@ -1,0 +1,118 @@
+#include "common/ipv6.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/hashing.hpp"
+
+namespace dart {
+namespace {
+
+std::optional<std::uint16_t> parse_group(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+std::optional<std::vector<std::uint16_t>> parse_groups(
+    std::string_view text) {
+  std::vector<std::uint16_t> groups;
+  if (text.empty()) return groups;
+  while (true) {
+    const auto colon = text.find(':');
+    const auto group = parse_group(text.substr(0, colon));
+    if (!group) return std::nullopt;
+    groups.push_back(*group);
+    if (colon == std::string_view::npos) break;
+    text.remove_prefix(colon + 1);
+  }
+  return groups;
+}
+
+std::uint64_t endpoint_hash(const Ipv6Addr& addr, std::uint16_t port) {
+  const auto& b = addr.bytes();
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 8; ++i) {
+    lo = (lo << 8) | b[static_cast<std::size_t>(i)];
+    hi = (hi << 8) | b[static_cast<std::size_t>(i + 8)];
+  }
+  return mix64(lo ^ mix64(hi ^ mix64(port ^ 0x6D0C'6B1FULL)));
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  const auto gap = text.find("::");
+  std::vector<std::uint16_t> left;
+  std::vector<std::uint16_t> right;
+
+  if (gap == std::string_view::npos) {
+    const auto groups = parse_groups(text);
+    if (!groups || groups->size() != 8) return std::nullopt;
+    left = *groups;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) {
+      return std::nullopt;  // at most one "::"
+    }
+    const auto l = parse_groups(text.substr(0, gap));
+    const auto r = parse_groups(text.substr(gap + 2));
+    if (!l || !r || l->size() + r->size() >= 8) return std::nullopt;
+    left = *l;
+    right = *r;
+    left.resize(8 - right.size(), 0);
+    left.insert(left.end(), right.begin(), right.end());
+  }
+
+  Bytes bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(left[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(left[i]);
+  }
+  return Ipv6Addr{bytes};
+}
+
+std::string Ipv6Addr::to_string() const {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer,
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:"
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                bytes_[0], bytes_[1], bytes_[2], bytes_[3], bytes_[4],
+                bytes_[5], bytes_[6], bytes_[7], bytes_[8], bytes_[9],
+                bytes_[10], bytes_[11], bytes_[12], bytes_[13], bytes_[14],
+                bytes_[15]);
+  return buffer;
+}
+
+std::uint64_t hash_tuple(const Ipv6FourTuple& tuple) noexcept {
+  return mix64(endpoint_hash(tuple.src_ip, tuple.src_port) ^
+               mix64(endpoint_hash(tuple.dst_ip, tuple.dst_port) ^
+                     0x1BADB002ULL));
+}
+
+FourTuple compress(const Ipv6FourTuple& tuple) noexcept {
+  // Each endpoint is compressed independently so reversal commutes with
+  // compression.
+  const std::uint64_t src = endpoint_hash(tuple.src_ip, tuple.src_port);
+  const std::uint64_t dst = endpoint_hash(tuple.dst_ip, tuple.dst_port);
+  FourTuple out;
+  out.src_ip = Ipv4Addr{static_cast<std::uint32_t>(src >> 32)};
+  out.dst_ip = Ipv4Addr{static_cast<std::uint32_t>(dst >> 32)};
+  out.src_port = static_cast<std::uint16_t>(src >> 16);
+  out.dst_port = static_cast<std::uint16_t>(dst >> 16);
+  return out;
+}
+
+}  // namespace dart

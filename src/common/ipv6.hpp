@@ -1,0 +1,71 @@
+// IPv6 flow identification (Section 7, "Extending Dart to QUIC and IPv6").
+//
+// The paper: "Dart can also be extended to work with IPv6... since the
+// 4-tuple size is much larger in IPv6, and the RT flow signature size is
+// fixed, Dart may encounter more hash collisions." The data plane cannot
+// widen its register keys, so an IPv6 deployment hashes the 36-byte tuple
+// down to the same fixed-width signatures an IPv4 deployment uses.
+//
+// We model exactly that: `compress()` maps an IPv6 four-tuple into the
+// 12-byte FourTuple key space via hashing, after which every monitor in
+// this repository works unchanged. Collisions are quantified in
+// tests/common/ipv6_test.cpp — with a well-mixed hash they are governed by
+// the compressed width, not the input width.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/four_tuple.hpp"
+
+namespace dart {
+
+class Ipv6Addr {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Addr() : bytes_{} {}
+  constexpr explicit Ipv6Addr(const Bytes& bytes) : bytes_(bytes) {}
+
+  const Bytes& bytes() const { return bytes_; }
+
+  /// Parse RFC 4291 text form, including "::" compression ("2001:db8::1").
+  /// IPv4-mapped tails and zone indices are not supported.
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+
+  /// Full uncompressed lowercase form ("2001:0db8:...:0001").
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv6Addr&, const Ipv6Addr&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+struct Ipv6FourTuple {
+  Ipv6Addr src_ip{};
+  Ipv6Addr dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  Ipv6FourTuple reversed() const {
+    return Ipv6FourTuple{dst_ip, src_ip, dst_port, src_port};
+  }
+
+  friend bool operator==(const Ipv6FourTuple&, const Ipv6FourTuple&) =
+      default;
+};
+
+/// 64-bit mix of the full IPv6 tuple.
+std::uint64_t hash_tuple(const Ipv6FourTuple& tuple) noexcept;
+
+/// Compress an IPv6 tuple into the FourTuple key space the monitors use.
+/// Deterministic; direction-consistent: compress(t.reversed()) ==
+/// compress(t).reversed(), so SEQ and ACK lookups pair up exactly as for
+/// native IPv4 flows.
+FourTuple compress(const Ipv6FourTuple& tuple) noexcept;
+
+}  // namespace dart

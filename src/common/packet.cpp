@@ -1,0 +1,23 @@
+#include "common/packet.hpp"
+
+namespace dart {
+
+std::string PacketRecord::to_string() const {
+  std::string out;
+  out += "t=" + std::to_string(ts);
+  out += " " + tuple.to_string();
+  out += " seq=" + std::to_string(seq);
+  if (is_ack()) out += " ack=" + std::to_string(ack);
+  out += " len=" + std::to_string(payload);
+  std::string flag_text;
+  if (is_syn()) flag_text += 'S';
+  if (is_fin()) flag_text += 'F';
+  if (is_rst()) flag_text += 'R';
+  if (is_ack()) flag_text += 'A';
+  if (has_flag(tcp_flag::kPsh)) flag_text += 'P';
+  if (!flag_text.empty()) out += " [" + flag_text + "]";
+  out += outbound ? " out" : " in";
+  return out;
+}
+
+}  // namespace dart

@@ -1,0 +1,68 @@
+// The packet record Dart processes.
+//
+// A trace is a time-ordered stream of these records as observed at the
+// monitoring vantage point (e.g. near a campus gateway). Only the fields a
+// P4 parser would extract are carried: the 4-tuple, TCP sequence/ack numbers,
+// flags, and the TCP payload length (which the hardware prototype obtains
+// via a precomputed lookup table, Section 4). The `outbound` bit records
+// which side of the monitor the sender sits on: true means the packet
+// travels from the monitored (internal) network toward the Internet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/four_tuple.hpp"
+#include "common/seqnum.hpp"
+#include "common/time.hpp"
+
+namespace dart {
+
+namespace tcp_flag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+}  // namespace tcp_flag
+
+struct PacketRecord {
+  Timestamp ts = 0;       ///< Arrival time at the monitor.
+  FourTuple tuple{};      ///< src = the sender of this packet.
+  SeqNum seq = 0;         ///< TCP sequence number.
+  SeqNum ack = 0;         ///< TCP acknowledgment number (valid iff kAck set).
+  std::uint16_t payload = 0;  ///< TCP payload bytes.
+  std::uint8_t flags = 0;     ///< TCP flag bits (tcp_flag::*).
+  bool outbound = false;      ///< Internal network -> Internet direction.
+
+  constexpr bool has_flag(std::uint8_t flag) const {
+    return (flags & flag) != 0;
+  }
+  constexpr bool is_syn() const { return has_flag(tcp_flag::kSyn); }
+  constexpr bool is_fin() const { return has_flag(tcp_flag::kFin); }
+  constexpr bool is_rst() const { return has_flag(tcp_flag::kRst); }
+  constexpr bool is_ack() const { return has_flag(tcp_flag::kAck); }
+
+  /// Bytes of sequence space this segment consumes. SYN and FIN each occupy
+  /// one sequence number in addition to the payload.
+  constexpr std::uint32_t seq_span() const {
+    return std::uint32_t{payload} + (is_syn() ? 1U : 0U) +
+           (is_fin() ? 1U : 0U);
+  }
+
+  /// True when this packet advances the sender's sequence space, i.e. a
+  /// future cumulative ACK can acknowledge it; these are the packets the
+  /// Packet Tracker may record.
+  constexpr bool carries_data() const { return seq_span() > 0; }
+
+  /// The acknowledgment number that acknowledges this entire segment — the
+  /// paper's "expected ACK" (eACK), the Packet Tracker key.
+  constexpr SeqNum expected_ack() const { return seq + seq_span(); }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const PacketRecord&, const PacketRecord&) =
+      default;
+};
+
+}  // namespace dart

@@ -1,0 +1,112 @@
+// Deterministic random number generation.
+//
+// Workload generation must be reproducible byte-for-byte across platforms so
+// every benchmark regenerates the same trace from a seed. The standard
+// library's distributions are implementation-defined, so we implement the
+// generator (xoshiro256**) and the distributions ourselves.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hashing.hpp"
+
+namespace dart {
+
+/// xoshiro256** seeded via SplitMix64, per the reference implementation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent stream; forking with distinct ids from one parent
+  /// yields decorrelated generators (used to give each flow its own stream).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng{mix64(next_u64() ^ mix64(stream_id))};
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact
+  /// enough for workload modelling).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed flow sizes).
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased bounded integer in [0, bound) via rejection sampling.
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dart

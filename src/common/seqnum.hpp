@@ -1,0 +1,54 @@
+// Wraparound-aware TCP sequence number arithmetic.
+//
+// TCP sequence numbers live in a 32-bit circular space (RFC 793 / RFC 1982
+// serial-number arithmetic). All comparisons in the Range Tracker and Packet
+// Tracker must treat the space as circular: a "later" byte may have a
+// numerically smaller sequence number after wraparound. The paper's prototype
+// simplifies wraparound by resetting the Range Tracker left edge to zero
+// (Section 4); we implement full serial comparisons here and let the Range
+// Tracker choose the simplified reset behaviour explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace dart {
+
+using SeqNum = std::uint32_t;
+
+/// Serial-number "less than": true when `a` precedes `b` in the circular
+/// space, i.e. the forward distance from a to b is in (0, 2^31).
+constexpr bool seq_lt(SeqNum a, SeqNum b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+constexpr bool seq_gt(SeqNum a, SeqNum b) { return seq_lt(b, a); }
+constexpr bool seq_le(SeqNum a, SeqNum b) { return !seq_lt(b, a); }
+constexpr bool seq_ge(SeqNum a, SeqNum b) { return !seq_lt(a, b); }
+
+/// Forward distance from `from` to `to` in the circular space. Only
+/// meaningful when `to` is not more than 2^31-1 bytes ahead of `from`.
+constexpr std::uint32_t seq_distance(SeqNum from, SeqNum to) {
+  return to - from;
+}
+
+/// Advance a sequence number by `bytes`, wrapping modulo 2^32.
+constexpr SeqNum seq_add(SeqNum s, std::uint32_t bytes) { return s + bytes; }
+
+/// True when the closed interval [lo, hi] (circular, hi reached from lo by a
+/// forward walk of < 2^31 bytes) contains `s`.
+constexpr bool seq_in_closed(SeqNum s, SeqNum lo, SeqNum hi) {
+  return seq_le(lo, s) && seq_le(s, hi);
+}
+
+/// True when the half-open interval (lo, hi] contains `s`.
+constexpr bool seq_in_left_open(SeqNum s, SeqNum lo, SeqNum hi) {
+  return seq_lt(lo, s) && seq_le(s, hi);
+}
+
+/// True when advancing from `old_right` to `new_right` crosses zero, i.e. a
+/// sequence-number wraparound happened between the two edges.
+constexpr bool seq_wrapped(SeqNum old_right, SeqNum new_right) {
+  return seq_lt(old_right, new_right) && new_right < old_right;
+}
+
+}  // namespace dart

@@ -1,0 +1,34 @@
+// Small text-output helpers shared by the benchmark harnesses and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart {
+
+/// Fixed-precision decimal formatting (std::to_string prints 6 digits and
+/// std::format is not consistently available on the targeted toolchains).
+std::string format_double(double value, int precision);
+
+/// "12.3%" style percentage of a ratio in [0, 1] (not pre-multiplied).
+std::string format_percent(double ratio, int precision = 1);
+
+/// Group thousands for readability: 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t value);
+
+/// A minimal fixed-width text table: add a header and rows, then render.
+/// Used by every bench binary so the regenerated figures print uniformly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dart

@@ -1,0 +1,39 @@
+// Timestamp conventions used throughout the Dart reproduction.
+//
+// The Tofino data plane timestamps packets with a nanosecond-granularity
+// hardware clock; the paper reports that Dart can emit RTTs "down to a
+// nanosecond granularity" (Section 8). We therefore carry all timestamps as
+// unsigned 64-bit nanosecond counts since an arbitrary epoch (trace start).
+#pragma once
+
+#include <cstdint>
+
+namespace dart {
+
+/// Nanoseconds since trace start. 2^64 ns is ~584 years, so wraparound is
+/// not a concern for timestamps (unlike TCP sequence numbers).
+using Timestamp = std::uint64_t;
+
+/// Signed duration in nanoseconds; RTT samples are always non-negative but
+/// intermediate arithmetic (e.g. change detection deltas) may be negative.
+using DurationNs = std::int64_t;
+
+inline constexpr Timestamp kNsPerUs = 1'000ULL;
+inline constexpr Timestamp kNsPerMs = 1'000'000ULL;
+inline constexpr Timestamp kNsPerSec = 1'000'000'000ULL;
+
+constexpr Timestamp usec(std::uint64_t n) { return n * kNsPerUs; }
+constexpr Timestamp msec(std::uint64_t n) { return n * kNsPerMs; }
+constexpr Timestamp sec(std::uint64_t n) { return n * kNsPerSec; }
+
+/// Convert nanoseconds to fractional milliseconds (for reporting only).
+constexpr double to_ms(Timestamp ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNsPerMs);
+}
+
+/// Convert fractional milliseconds to nanoseconds (for configuration only).
+constexpr Timestamp from_ms(double ms) {
+  return static_cast<Timestamp>(ms * static_cast<double>(kNsPerMs));
+}
+
+}  // namespace dart

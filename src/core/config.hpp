@@ -1,0 +1,96 @@
+// Configuration of a Dart monitor instance.
+//
+// The knobs mirror the axes of the paper's evaluation (Section 6.2):
+// Packet Tracker size (Figure 11), number of PT stages (Figure 12), and the
+// per-record recirculation budget (Figure 13), plus the ±SYN mode of
+// Figures 9/10 and the leg selection of Section 2.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace dart::core {
+
+/// Which portion of the path this monitor measures (Section 2.1).
+/// External: outbound data packets matched with inbound ACKs (monitor <->
+/// Internet). Internal: inbound data matched with outbound ACKs (client <->
+/// monitor). Both: each packet is processed in both roles, which on hardware
+/// costs one recirculation per dual-role packet (Section 5).
+enum class LegMode : std::uint8_t { kExternal, kInternal, kBoth };
+
+/// What happens when a record must be placed and every candidate Packet
+/// Tracker slot is occupied.
+enum class EvictionPolicy : std::uint8_t {
+  /// Paper behaviour: evict the youngest occupant (for a 1-stage PT this is
+  /// "the new entry gets stored while the old entry is recirculated",
+  /// Section 3.2; for multi-stage PTs it yields the "older records are
+  /// preferred" retention the paper observes in Figure 12).
+  kEvictYoungest,
+  /// Anti-policy for ablation: evict the oldest occupant. Reintroduces the
+  /// bias against long RTTs that Dart is designed to avoid.
+  kEvictOldest,
+  /// Strawman: never evict; the incoming record is dropped on collision.
+  kNeverEvict,
+};
+
+struct DartConfig {
+  /// Range Tracker slots; 0 = unbounded fully-associative memory (the
+  /// "Dart without memory constraints" setting of Section 6.1).
+  std::size_t rt_size = 0;
+
+  /// Packet Tracker total slots across all stages; 0 = unbounded.
+  std::size_t pt_size = 0;
+
+  /// Number of one-way-associative PT stages the total size is divided
+  /// into (Figure 12). Must be >= 1; ignored when pt_size == 0.
+  std::uint32_t pt_stages = 1;
+
+  /// Recirculation budget per SEQ-packet insertion (Figure 13): the number
+  /// of displacement hops one insertion chain may trigger. Each hop sends
+  /// the displaced record back through the Range Tracker and lets it try
+  /// its alternative stage slots — cuckoo-style relocation; the budget
+  /// bounds the chain. A record displaced when the chain is exhausted is
+  /// dropped. Because the budget is per insertion (not per record
+  /// lifetime), a still-valid old record survives arbitrarily many
+  /// contests — Dart's "no bias against long RTTs" property.
+  std::uint32_t max_recirculations = 1;
+
+  /// +SYN mode: also track handshake packets (SYN consumes one sequence
+  /// number, so the SYN-ACK produces a handshake RTT sample). Default off:
+  /// the paper shows ignoring SYNs saves RT memory on the 72.5% of
+  /// connections that never complete (Figure 10) and hardens Dart against
+  /// SYN floods (Section 3.1).
+  bool include_syn = false;
+
+  LegMode leg = LegMode::kExternal;
+  EvictionPolicy policy = EvictionPolicy::kEvictYoungest;
+
+  /// Paper-faithful simplification (Section 4): on a sequence-number
+  /// wraparound, collapse the measurement range and forgo the samples at
+  /// the highest sequence numbers. When false, full serial arithmetic is
+  /// used across the wrap (an extension; see DESIGN.md).
+  bool wraparound_reset = true;
+
+  /// Range Tracker idle timeout (0 = off): abandon a flow's measurement
+  /// range when its ACK edge makes no progress for this long. The paper
+  /// suggests a very large value (seconds) as a defense against attacks
+  /// that leave large amounts of data forever unacknowledged (Section 7).
+  Timestamp rt_idle_timeout = 0;
+
+  /// Section 7 "Minimizing recirculations with approximation": keep an
+  /// approximate copy of the RT *after* the Packet Tracker so an evicted
+  /// record's staleness check happens inline instead of via recirculation.
+  /// Stale records then die without consuming recirculation bandwidth; only
+  /// still-valid records recirculate for re-insertion. The copy trades
+  /// memory (a second RT) and a little accuracy (it lags the original by up
+  /// to `shadow_sync_interval` packets, so a borderline record may be
+  /// misjudged) for recirculation bandwidth.
+  bool shadow_rt = false;
+  std::uint32_t shadow_sync_interval = 256;  ///< packets between syncs
+
+  std::uint64_t hash_seed = 0xDA27'0001;
+};
+
+}  // namespace dart::core

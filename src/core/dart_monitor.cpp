@@ -1,0 +1,265 @@
+#include "core/dart_monitor.hpp"
+
+namespace dart::core {
+
+DartMonitor::DartMonitor(const DartConfig& config, SampleCallback on_sample)
+    : config_(config),
+      on_sample_(std::move(on_sample)),
+      rt_(config.rt_size, config.hash_seed, config.wraparound_reset,
+          config.rt_idle_timeout),
+      pt_(config.pt_size, config.pt_stages, config.policy,
+          mix64(config.hash_seed ^ 0x9e3779b97f4a7c15ULL)) {
+  if (config_.shadow_rt) {
+    // Identical geometry and seed so rt_ref slot references are valid in
+    // both copies.
+    shadow_rt_ = std::make_unique<RangeTracker>(
+        config_.rt_size, config_.hash_seed, config_.wraparound_reset,
+        config_.rt_idle_timeout);
+    shadow_backlog_.reserve(config_.shadow_sync_interval);
+  }
+}
+
+void DartMonitor::buffer_for_shadow(const PacketRecord& packet) {
+  shadow_backlog_.push_back(packet);
+  if (shadow_backlog_.size() >= config_.shadow_sync_interval) sync_shadow();
+}
+
+void DartMonitor::sync_shadow() {
+  // Replay the backlog into the shadow copy with the same role
+  // classification the main pipeline used, without touching stats or PT.
+  const bool external = config_.leg == LegMode::kExternal ||
+                        config_.leg == LegMode::kBoth;
+  const bool internal = config_.leg == LegMode::kInternal ||
+                        config_.leg == LegMode::kBoth;
+  for (const PacketRecord& packet : shadow_backlog_) {
+    if (external) {
+      if (packet.outbound && packet.carries_data()) {
+        shadow_rt_->on_seq(packet.tuple, packet.seq, packet.expected_ack(),
+                           packet.ts);
+      } else if (!packet.outbound && packet.is_ack()) {
+        shadow_rt_->on_ack(packet.tuple.reversed(), packet.ack,
+                           !packet.carries_data(), packet.ts);
+      }
+    }
+    if (internal) {
+      if (!packet.outbound && packet.carries_data()) {
+        shadow_rt_->on_seq(packet.tuple, packet.seq, packet.expected_ack(),
+                           packet.ts);
+      } else if (packet.outbound && packet.is_ack()) {
+        shadow_rt_->on_ack(packet.tuple.reversed(), packet.ack,
+                           !packet.carries_data(), packet.ts);
+      }
+    }
+  }
+  shadow_backlog_.clear();
+}
+
+void DartMonitor::process(const PacketRecord& packet) {
+  ++stats_.packets_processed;
+
+  // Operator flow selection (Section 4): untracked connections are skipped
+  // before any state is touched.
+  if (flow_filter_ != nullptr && !flow_filter_->tracks(packet.tuple)) {
+    ++stats_.filtered_packets;
+    return;
+  }
+
+  // The -SYN rule drops handshake packets outright (Section 3.1: no RT/PT
+  // state before the handshake completes, which also defangs SYN floods).
+  if (!config_.include_syn && packet.is_syn()) {
+    ++stats_.syn_ignored;
+    return;
+  }
+
+  if (shadow_rt_) buffer_for_shadow(packet);
+
+  const bool external = config_.leg == LegMode::kExternal ||
+                        config_.leg == LegMode::kBoth;
+  const bool internal = config_.leg == LegMode::kInternal ||
+                        config_.leg == LegMode::kBoth;
+
+  int roles = 0;
+  if (external) {
+    // External leg: outbound data awaits inbound ACKs (Section 2.1).
+    if (packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet, LegMode::kExternal);
+      ++roles;
+    } else if (!packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 !packet.carries_data(), LegMode::kExternal);
+      ++roles;
+    }
+  }
+  if (internal) {
+    // Internal leg: inbound data awaits outbound ACKs.
+    if (!packet.outbound && packet.carries_data()) {
+      handle_seq(packet.tuple, packet, LegMode::kInternal);
+      ++roles;
+    } else if (packet.outbound && packet.is_ack()) {
+      handle_ack(packet.tuple.reversed(), packet.ack, packet.ts,
+                 !packet.carries_data(), LegMode::kInternal);
+      ++roles;
+    }
+  }
+
+  if (roles == 2) {
+    // Monitoring both legs makes this packet both a SEQ and an ACK; the
+    // hardware achieves that with one recirculation per such packet
+    // (Section 5, "Monitoring the external and internal legs
+    // simultaneously").
+    ++stats_.dual_role_recirculations;
+    ++stats_.recirculations;
+  }
+}
+
+void DartMonitor::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+void DartMonitor::handle_seq(const FourTuple& tuple,
+                             const PacketRecord& packet, LegMode leg) {
+  ++stats_.seq_candidates;
+
+  const SeqNum eack = packet.expected_ack();
+  const SeqOutcome outcome = rt_.on_seq(tuple, packet.seq, eack, packet.ts);
+  if (outcome.new_flow) ++stats_.rt_new_flows;
+  if (outcome.overwrote) ++stats_.rt_flow_overwrites;
+  if (outcome.timed_out) ++stats_.rt_idle_timeouts;
+  switch (outcome.decision) {
+    case SeqDecision::kTrackNew:
+      break;
+    case SeqDecision::kTrackInOrder:
+      ++stats_.seq_in_order;
+      break;
+    case SeqDecision::kTrackAfterHole:
+      ++stats_.seq_hole_reanchors;
+      break;
+    case SeqDecision::kRetransmission:
+      ++stats_.seq_retransmissions;
+      if (on_collapse_) {
+        on_collapse_(CollapseEvent{tuple, packet.ts, leg, true});
+      }
+      break;
+    case SeqDecision::kWraparoundReset:
+      ++stats_.wraparound_resets;
+      break;
+  }
+  if (!outcome.track) return;
+
+  ++stats_.seq_tracked;
+  PacketTracker::Record record;
+  record.flow_sig = flow_signature(tuple);
+  record.eack = eack;
+  record.ts = packet.ts;
+  record.rt_ref = rt_.ref_of(tuple);
+  place(record, packet.ts);
+}
+
+void DartMonitor::place(PacketTracker::Record record, Timestamp now) {
+  // One insertion chain: each displacement hop consumes one recirculation
+  // from this SEQ packet's budget. Old records start every contest with a
+  // full budget behind them (the budget is per insertion, not per record
+  // lifetime), so a still-valid long-RTT record is never aged out.
+  std::uint32_t chain_recircs = 0;
+  std::uint64_t displaced_by = 0;  // key of the record that evicted `record`
+  for (;;) {
+    const PacketTracker::InsertResult result =
+        pt_.insert(record, displaced_by);
+    if (result.status == PacketTracker::InsertStatus::kStored) {
+      ++stats_.pt_inserted;
+      return;
+    }
+    if (result.status == PacketTracker::InsertStatus::kDroppedPolicy) {
+      ++stats_.drops_policy;
+      return;
+    }
+
+    ++stats_.pt_inserted;
+    ++stats_.pt_evictions;
+    const PacketTracker::Record old = result.evicted;
+
+    // Cycle detection before any recirculation: if the displaced record had
+    // itself displaced the record that just took its slot, stop the
+    // ping-pong (Section 3.2).
+    if (old.victim_key != 0 && old.victim_key == record.key()) {
+      ++stats_.drops_cycle;
+      return;
+    }
+    if (chain_recircs >= config_.max_recirculations) {
+      ++stats_.drops_budget;
+      return;
+    }
+    // The analytics module can veto a pointless recirculation (Section 3.3).
+    if (filter_ != nullptr && !filter_->useful(old.ts, now)) {
+      ++stats_.drops_useless;
+      return;
+    }
+    // Shadow RT (Section 7): an inline, possibly slightly stale validity
+    // check at the end of the pipeline. Records it deems stale die here
+    // without consuming recirculation bandwidth.
+    if (shadow_rt_ &&
+        !shadow_rt_->still_valid(old.rt_ref, old.flow_sig, old.eack, now)) {
+      ++stats_.drops_shadow;
+      return;
+    }
+
+    // Recirculate: the record re-enters the pipeline and re-consults the
+    // Range Tracker; a stale record self-destructs.
+    ++chain_recircs;
+    ++stats_.recirculations;
+    if (!rt_.still_valid(old.rt_ref, old.flow_sig, old.eack, now)) {
+      ++stats_.drops_stale;
+      return;
+    }
+    displaced_by = record.key();
+    record = old;
+  }
+}
+
+void DartMonitor::handle_ack(const FourTuple& data_tuple, SeqNum ack,
+                             Timestamp now, bool pure_ack, LegMode leg) {
+  ++stats_.ack_candidates;
+
+  switch (rt_.on_ack(data_tuple, ack, pure_ack, now)) {
+    case AckDecision::kNoEntry:
+      ++stats_.ack_no_entry;
+      return;
+    case AckDecision::kDuplicate:
+      ++stats_.ack_duplicates;
+      if (on_collapse_) {
+        on_collapse_(CollapseEvent{data_tuple, now, leg, false});
+      }
+      return;
+    case AckDecision::kBelowLeft:
+      ++stats_.ack_below_left;
+      return;
+    case AckDecision::kOptimistic:
+      ++stats_.ack_optimistic;
+      if (on_optimistic_) {
+        on_optimistic_(OptimisticAckEvent{data_tuple, ack, now, leg});
+      }
+      return;
+    case AckDecision::kAdvance:
+      break;
+  }
+  ++stats_.ack_advances;
+
+  auto record = pt_.lookup_erase(flow_signature(data_tuple), ack);
+  if (!record) {
+    ++stats_.pt_lookup_misses;
+    return;
+  }
+  ++stats_.pt_lookup_hits;
+  ++stats_.samples;
+  if (on_sample_) {
+    RttSample sample;
+    sample.tuple = data_tuple;
+    sample.eack = ack;
+    sample.seq_ts = record->ts;
+    sample.ack_ts = now;
+    sample.leg = leg;
+    on_sample_(sample);
+  }
+}
+
+}  // namespace dart::core

@@ -1,0 +1,80 @@
+// RTT samples and sample sinks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/four_tuple.hpp"
+#include "common/seqnum.hpp"
+#include "common/time.hpp"
+#include "core/config.hpp"
+
+namespace dart::core {
+
+/// One matched SEQ/ACK pair. The tuple is the data (SEQ) direction; `leg`
+/// says which side of the monitor the round trip covered.
+struct RttSample {
+  FourTuple tuple{};
+  SeqNum eack = 0;
+  Timestamp seq_ts = 0;
+  Timestamp ack_ts = 0;
+  LegMode leg = LegMode::kExternal;
+
+  constexpr Timestamp rtt() const { return ack_ts - seq_ts; }
+};
+
+using SampleCallback = std::function<void(const RttSample&)>;
+
+/// A measurement-range collapse: the Range Tracker inferred a
+/// retransmission or reordering ambiguity and reset the flow's range.
+/// Section 3.1: the frequency of collapses is itself a congestion signal —
+/// collapses happen exactly when loss/reordering do.
+struct CollapseEvent {
+  FourTuple tuple{};  ///< data (SEQ) direction
+  Timestamp ts = 0;
+  LegMode leg = LegMode::kExternal;
+  bool from_retransmission = false;  ///< else: duplicate-ACK inference
+};
+
+using CollapseCallback = std::function<void(const CollapseEvent&)>;
+
+/// An ACK beyond the flow's right edge: either a misbehaving receiver
+/// acknowledging data it has not received (Section 7, "Dealing with
+/// optimistic ACKs" — Dart "can be easily extended to detect and report
+/// optimistic ACKs") or severe ACK-path corruption. Dart ignores the ACK;
+/// this event lets the operator see who is doing it.
+struct OptimisticAckEvent {
+  FourTuple tuple{};  ///< data (SEQ) direction; the acker is tuple.dst
+  SeqNum ack = 0;
+  Timestamp ts = 0;
+  LegMode leg = LegMode::kExternal;
+};
+
+using OptimisticAckCallback = std::function<void(const OptimisticAckEvent&)>;
+
+/// Convenience sink collecting samples into a vector.
+class VectorSink {
+ public:
+  SampleCallback callback() {
+    return [this](const RttSample& sample) { samples_.push_back(sample); };
+  }
+  const std::vector<RttSample>& samples() const { return samples_; }
+  std::vector<RttSample>& samples() { return samples_; }
+
+ private:
+  std::vector<RttSample> samples_;
+};
+
+/// Interface for the analytics module's preemptive-discard hook
+/// (Section 3.3): before recirculating an evicted record, ask whether it can
+/// still produce a sample the analytics cares about.
+class UsefulnessFilter {
+ public:
+  virtual ~UsefulnessFilter() = default;
+
+  /// True when a record whose SEQ crossed at `seq_ts`, re-evaluated at
+  /// `now`, could still yield a useful sample.
+  virtual bool useful(Timestamp seq_ts, Timestamp now) const = 0;
+};
+
+}  // namespace dart::core

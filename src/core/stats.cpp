@@ -1,0 +1,22 @@
+#include "core/stats.hpp"
+
+#include "common/strings.hpp"
+
+namespace dart::core {
+
+std::string DartStats::summary() const {
+  std::string out;
+  out += "packets=" + format_count(packets_processed);
+  out += " seq=" + format_count(seq_candidates);
+  out += " tracked=" + format_count(seq_tracked);
+  out += " acks=" + format_count(ack_candidates);
+  out += " samples=" + format_count(samples);
+  out += " recirc/pkt=" + format_double(recirculations_per_packet(), 4);
+  out += " evictions=" + format_count(pt_evictions);
+  out += " drops(budget/stale/cycle/useless)=" + format_count(drops_budget) +
+         "/" + format_count(drops_stale) + "/" + format_count(drops_cycle) +
+         "/" + format_count(drops_useless);
+  return out;
+}
+
+}  // namespace dart::core

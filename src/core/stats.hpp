@@ -1,0 +1,61 @@
+// Counters exposed by a Dart monitor.
+//
+// `recirculations` divided by `packets_processed` is the paper's
+// "recirculations incurred per packet" metric (Figures 11c/12c/13c).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dart::core {
+
+struct DartStats {
+  // Input.
+  std::uint64_t packets_processed = 0;
+  std::uint64_t filtered_packets = 0;  ///< skipped by the flow filter (§4)
+  std::uint64_t seq_candidates = 0;  ///< data packets on the monitored leg
+  std::uint64_t ack_candidates = 0;  ///< ACK packets on the monitored leg
+  std::uint64_t syn_ignored = 0;     ///< dropped by the -SYN rule
+
+  // Range Tracker outcomes.
+  std::uint64_t rt_new_flows = 0;
+  std::uint64_t rt_flow_overwrites = 0;  ///< hash-slot takeovers (bounded RT)
+  std::uint64_t rt_idle_timeouts = 0;    ///< ranges abandoned by the timeout
+  std::uint64_t seq_tracked = 0;
+  std::uint64_t seq_in_order = 0;
+  std::uint64_t seq_hole_reanchors = 0;
+  std::uint64_t seq_retransmissions = 0;  ///< range collapses from SEQs
+  std::uint64_t wraparound_resets = 0;
+  std::uint64_t ack_advances = 0;
+  std::uint64_t ack_duplicates = 0;  ///< range collapses from dup ACKs
+  std::uint64_t ack_below_left = 0;
+  std::uint64_t ack_optimistic = 0;
+  std::uint64_t ack_no_entry = 0;
+
+  // Packet Tracker outcomes.
+  std::uint64_t pt_inserted = 0;
+  std::uint64_t pt_evictions = 0;
+  std::uint64_t pt_lookup_hits = 0;   ///< == samples emitted
+  std::uint64_t pt_lookup_misses = 0;
+  std::uint64_t recirculations = 0;
+  std::uint64_t dual_role_recirculations = 0;  ///< LegMode::kBoth overhead
+  std::uint64_t drops_budget = 0;   ///< recirculation budget exhausted
+  std::uint64_t drops_stale = 0;    ///< failed RT re-validation (self-destruct)
+  std::uint64_t drops_cycle = 0;    ///< ping-pong cycle detected
+  std::uint64_t drops_useless = 0;  ///< analytics usefulness filter
+  std::uint64_t drops_shadow = 0;   ///< shadow-RT inline staleness check
+  std::uint64_t drops_policy = 0;   ///< kNeverEvict collisions
+
+  std::uint64_t samples = 0;
+
+  double recirculations_per_packet() const {
+    return packets_processed == 0
+               ? 0.0
+               : static_cast<double>(recirculations) /
+                     static_cast<double>(packets_processed);
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,35 @@
+#include "dataplane/payload_lut.hpp"
+
+namespace dart::dataplane {
+
+PayloadLut::PayloadLut() {
+  table_.resize(static_cast<std::size_t>(kMaxTotalLen - kMinTotalLen + 1) *
+                (kMaxTcpWords - kMinTcpWords + 1));
+  for (std::uint16_t len = kMinTotalLen; len <= kMaxTotalLen; ++len) {
+    for (std::uint16_t tcp = kMinTcpWords; tcp <= kMaxTcpWords; ++tcp) {
+      table_[index(len, tcp)] = compute(len, kIpHeaderWords, tcp);
+    }
+  }
+}
+
+std::uint16_t PayloadLut::compute(std::uint16_t ip_total_len,
+                                  std::uint16_t ip_header_words,
+                                  std::uint16_t tcp_header_words) {
+  const std::uint32_t headers =
+      4U * ip_header_words + 4U * tcp_header_words;
+  if (headers >= ip_total_len) return 0;
+  return static_cast<std::uint16_t>(ip_total_len - headers);
+}
+
+std::optional<std::uint16_t> PayloadLut::lookup(
+    std::uint16_t ip_total_len, std::uint16_t ip_header_words,
+    std::uint16_t tcp_header_words) const {
+  if (ip_header_words != kIpHeaderWords || ip_total_len < kMinTotalLen ||
+      ip_total_len > kMaxTotalLen || tcp_header_words < kMinTcpWords ||
+      tcp_header_words > kMaxTcpWords) {
+    return std::nullopt;
+  }
+  return table_[index(ip_total_len, tcp_header_words)];
+}
+
+}  // namespace dart::dataplane

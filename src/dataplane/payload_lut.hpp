@@ -1,0 +1,54 @@
+// Precomputed TCP payload-size lookup (Section 4, "Computing the payload
+// size").
+//
+// Computing payload = ip_total_len - 4*ip_hdr_len - 4*tcp_data_offset in
+// the data plane costs multiple stages of 32-bit arithmetic. The prototype
+// instead precomputes the result for the common parameter ranges — IP
+// header length 5 words, total length 40..1480 bytes, TCP header 5..15
+// words — and looks it up in one table, saving two Tofino stages. Inputs
+// outside the precomputed range fall back to arithmetic (the paper notes
+// the optimization is easily reversed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dart::dataplane {
+
+class PayloadLut {
+ public:
+  static constexpr std::uint16_t kIpHeaderWords = 5;  // no IP options
+  static constexpr std::uint16_t kMinTotalLen = 40;
+  static constexpr std::uint16_t kMaxTotalLen = 1480;
+  static constexpr std::uint16_t kMinTcpWords = 5;
+  static constexpr std::uint16_t kMaxTcpWords = 15;
+
+  PayloadLut();
+
+  /// Table lookup; nullopt when the parameters fall outside the precomputed
+  /// range (IP options, jumbo frames) and the slow arithmetic path must run.
+  std::optional<std::uint16_t> lookup(std::uint16_t ip_total_len,
+                                      std::uint16_t ip_header_words,
+                                      std::uint16_t tcp_header_words) const;
+
+  /// The reference arithmetic the table precomputes. Returns 0 when the
+  /// headers exceed the total length (malformed packet).
+  static std::uint16_t compute(std::uint16_t ip_total_len,
+                               std::uint16_t ip_header_words,
+                               std::uint16_t tcp_header_words);
+
+  std::size_t entries() const { return table_.size(); }
+
+ private:
+  static std::size_t index(std::uint16_t total_len,
+                           std::uint16_t tcp_words) {
+    return static_cast<std::size_t>(total_len - kMinTotalLen) *
+               (kMaxTcpWords - kMinTcpWords + 1) +
+           (tcp_words - kMinTcpWords);
+  }
+
+  std::vector<std::uint16_t> table_;
+};
+
+}  // namespace dart::dataplane

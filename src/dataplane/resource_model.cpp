@@ -1,0 +1,107 @@
+#include "dataplane/resource_model.hpp"
+
+namespace dart::dataplane {
+
+TargetProfile tofino1_profile() {
+  TargetProfile p;
+  p.name = "Tofino 1";
+  p.stages = 12;
+  p.sram_bytes = 15ULL << 20;  // ~tens of MB per pipeline [19]
+  p.tcam_bytes = 2ULL << 20;
+  p.hash_units = 12 * 6;
+  p.logical_tables = 12 * 8;
+  p.input_crossbars = 12 * 16;
+  return p;
+}
+
+TargetProfile tofino2_profile() {
+  TargetProfile p;
+  p.name = "Tofino 2";
+  p.stages = 20;
+  p.sram_bytes = 25ULL << 20;
+  p.tcam_bytes = 3ULL << 20;
+  p.hash_units = 20 * 6;
+  p.logical_tables = 20 * 8;
+  p.input_crossbars = 20 * 16;
+  return p;
+}
+
+ResourceUsage estimate_usage(const DartLayout& layout) {
+  ResourceUsage usage;
+
+  // SRAM: register arrays for RT and PT plus the payload-size lookup table
+  // (2-byte result per entry).
+  usage.sram_bytes =
+      static_cast<std::uint64_t>(layout.rt_slots) * layout.rt_entry_bytes +
+      static_cast<std::uint64_t>(layout.pt_slots) * layout.pt_entry_bytes +
+      static_cast<std::uint64_t>(layout.payload_lut_entries) * 2;
+
+  // TCAM: operator flow-selection rules (12-byte 4-tuple key + mask).
+  usage.tcam_bytes =
+      static_cast<std::uint64_t>(layout.flow_filter_rules) * 24;
+
+  // Hash units: one for the RT index, one for the 4-byte flow signature,
+  // one per PT stage index, one for the PT record key fold.
+  usage.hash_units = 2 + layout.pt_stages + 1;
+
+  // Logical tables: RT and PT each split into component tables so values
+  // can be acted on sequentially (Section 4), plus the payload LUT, the
+  // flow filter, and role-classification tables.
+  const std::uint32_t rt_tables = layout.component_tables_per_logical;
+  const std::uint32_t pt_tables =
+      layout.component_tables_per_logical * layout.pt_stages;
+  std::uint32_t fixed_tables = 6;  // parser glue, filter, LUT, reporting
+  usage.logical_tables = rt_tables + pt_tables + fixed_tables;
+
+  // Input crossbars: roughly one per logical table plus hash inputs.
+  usage.input_crossbars = usage.logical_tables + usage.hash_units;
+
+  // Pipeline stages: RT spans 3, PT spans 3 per stage group; dual-leg
+  // processing reuses the same stages via recirculation.
+  usage.stages_used = layout.component_tables_per_logical +
+                      layout.component_tables_per_logical *
+                          ((layout.pt_stages + 2) / 3) +
+                      2;  // classification + reporting
+  if (layout.both_legs) usage.hash_units += 1;
+
+  return usage;
+}
+
+std::vector<UtilizationRow> utilization(const ResourceUsage& usage,
+                                        const TargetProfile& target) {
+  auto pct = [](double used, double budget) {
+    return budget <= 0.0 ? 0.0 : 100.0 * used / budget;
+  };
+  return {
+      {"TCAM", pct(static_cast<double>(usage.tcam_bytes),
+                   static_cast<double>(target.tcam_bytes))},
+      {"SRAM", pct(static_cast<double>(usage.sram_bytes),
+                   static_cast<double>(target.sram_bytes))},
+      {"Hash Units", pct(usage.hash_units, target.hash_units)},
+      {"Logical Tables", pct(usage.logical_tables, target.logical_tables)},
+      {"Input Crossbars",
+       pct(usage.input_crossbars, target.input_crossbars)},
+  };
+}
+
+std::vector<std::string> validate_layout(const DartLayout& layout,
+                                         const TargetProfile& target) {
+  const ResourceUsage usage = estimate_usage(layout);
+  std::vector<std::string> problems;
+  auto check = [&problems](std::uint64_t used, std::uint64_t budget,
+                           const char* what) {
+    if (used > budget) {
+      problems.push_back(std::string(what) + ": " + std::to_string(used) +
+                         " exceeds budget " + std::to_string(budget));
+    }
+  };
+  check(usage.sram_bytes, target.sram_bytes, "SRAM bytes");
+  check(usage.tcam_bytes, target.tcam_bytes, "TCAM bytes");
+  check(usage.hash_units, target.hash_units, "hash units");
+  check(usage.logical_tables, target.logical_tables, "logical tables");
+  check(usage.input_crossbars, target.input_crossbars, "input crossbars");
+  check(usage.stages_used, target.stages, "pipeline stages");
+  return problems;
+}
+
+}  // namespace dart::dataplane

@@ -1,0 +1,83 @@
+// Analytic accounting of the data-plane resources a Dart deployment
+// consumes, standing in for the hardware compiler report behind Table 1.
+//
+// The paper reports utilization percentages for TCAM, SRAM, hash units,
+// logical tables, and input crossbars on Tofino 1 and Tofino 2. Without the
+// proprietary toolchain we reproduce the same *inventory*: what each Dart
+// component (Range Tracker spread over 3 component tables, k-stage Packet
+// Tracker, payload-size lookup table (Section 4), flow-selection rules)
+// costs, against published, order-of-magnitude chip budgets. Percentages are
+// therefore simulated, not measured; DESIGN.md documents the substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dart::dataplane {
+
+/// Per-chip budgets. Values are public order-of-magnitude figures: a few
+/// tens of MB of SRAM per pipeline (the paper cites [19]), a few MB of
+/// TCAM, and fixed per-stage hash/crossbar resources.
+struct TargetProfile {
+  std::string name;
+  std::uint32_t stages = 12;
+  std::uint64_t sram_bytes = 0;
+  std::uint64_t tcam_bytes = 0;
+  std::uint32_t hash_units = 0;
+  std::uint32_t logical_tables = 0;
+  std::uint32_t input_crossbars = 0;
+};
+
+TargetProfile tofino1_profile();
+TargetProfile tofino2_profile();
+
+/// Physical layout of one Dart instance.
+struct DartLayout {
+  std::size_t rt_slots = 1 << 16;
+  std::size_t pt_slots = 1 << 17;
+  std::uint32_t pt_stages = 1;
+  /// The paper spreads each of RT and PT over 3 component tables because
+  /// values must be acted on sequentially within a pass (Section 4).
+  std::uint32_t component_tables_per_logical = 3;
+  /// RT record: 4 B signature + 4 B left + 4 B right (+ flags).
+  std::uint32_t rt_entry_bytes = 13;
+  /// PT record: 4 B signature + 4 B eACK + 4 B timestamp + bookkeeping.
+  std::uint32_t pt_entry_bytes = 16;
+  /// Precomputed TCP payload-size lookup table (Section 4): one entry per
+  /// (IP total length, TCP header length) combination in common ranges.
+  std::uint32_t payload_lut_entries = (1480 - 40 + 1) * (15 - 5 + 1);
+  /// Control-plane installed flow-selection rules (Section 4, "Specifying
+  /// target flows") live in TCAM.
+  std::uint32_t flow_filter_rules = 1024;
+  bool both_legs = false;  ///< dual-leg monitoring duplicates role logic
+};
+
+struct ResourceUsage {
+  std::uint64_t sram_bytes = 0;
+  std::uint64_t tcam_bytes = 0;
+  std::uint32_t hash_units = 0;
+  std::uint32_t logical_tables = 0;
+  std::uint32_t input_crossbars = 0;
+  std::uint32_t stages_used = 0;
+};
+
+ResourceUsage estimate_usage(const DartLayout& layout);
+
+/// Utilization percentage of `usage` against `target` for each Table 1 row.
+struct UtilizationRow {
+  std::string resource;
+  double percent = 0.0;
+};
+
+std::vector<UtilizationRow> utilization(const ResourceUsage& usage,
+                                        const TargetProfile& target);
+
+/// Validate that a layout fits a chip: returns a human-readable problem per
+/// exceeded budget (empty = fits). The paper's Tofino1 prototype must span
+/// ingress+egress precisely because a too-large layout fails this check for
+/// a single pipeline.
+std::vector<std::string> validate_layout(const DartLayout& layout,
+                                         const TargetProfile& target);
+
+}  // namespace dart::dataplane

@@ -1,0 +1,648 @@
+#include "gen/flow_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace dart::gen {
+namespace {
+
+// Data direction within the connection. Acknowledgments for direction d
+// travel in the opposite direction.
+enum Dir : int { kUp = 0, kDown = 1 };  // kUp = client -> server.
+
+constexpr Dir opposite(Dir d) { return d == kUp ? kDown : kUp; }
+
+// Internal packet representation: the wire-level PacketRecord plus
+// simulator-only knowledge (64-bit unwrapped sequence numbers, whether this
+// is a retransmission, whether the ACK was sent optimistically).
+struct SimPacket {
+  PacketRecord pkt{};
+  std::uint64_t seq64 = 0;
+  std::uint64_t ack64 = 0;
+  std::uint64_t span = 0;
+  Dir dir = kUp;  ///< travel direction.
+  bool rtx = false;
+  bool optimistic = false;
+  bool has_ack = false;
+  /// The monitor misses this packet (models the paper's observation that
+  /// the vantage point sometimes misses original ACKs, with a distant
+  /// keep-alive re-ACK arriving much later — the long tail of Figure 9c).
+  bool invisible_to_monitor = false;
+};
+
+enum class EventKind : std::uint8_t {
+  kCross,       // packet passes the monitor
+  kArrive,      // packet reaches the receiving endpoint
+  kRto,         // retransmission timer for sender of .dir
+  kDelayedAck,  // delayed-ACK timer for receiver of .dir
+  kSendAck,     // deferred (spiked) ACK emission for receiver of .dir
+};
+
+struct Event {
+  Timestamp t = 0;
+  std::uint64_t order = 0;  // FIFO tiebreak for equal timestamps
+  EventKind kind = EventKind::kCross;
+  SimPacket packet{};
+  Dir dir = kUp;
+  std::uint64_t generation = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.order > b.order;
+  }
+};
+
+struct Segment {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  // start + span
+  std::uint16_t payload = 0;
+  std::uint8_t flags = 0;
+  int retx = 0;
+  Timestamp first_sent = 0;
+};
+
+struct Sender {
+  std::uint64_t total = 0;   // payload bytes to send
+  std::uint64_t offset = 0;  // payload bytes already segmented
+  std::uint64_t isn = 0;     // 64-bit unwrapped initial sequence number
+  std::uint64_t snd_una = 0;
+  std::uint64_t snd_nxt = 0;
+  std::uint64_t data_start = 0;  // first payload sequence number
+  bool syn_acked = false;
+  bool fin_sent = false;
+  bool aborted = false;
+  std::map<std::uint64_t, Segment> inflight;  // keyed by end sequence
+  int dup_acks = 0;
+  double srtt_ns = 0.0;
+  int backoff = 0;
+  std::uint64_t rto_gen = 0;
+};
+
+struct Receiver {
+  bool established = false;
+  std::uint64_t rcv_nxt = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo;  // start -> end
+  std::uint32_t unacked_segments = 0;
+  bool delack_pending = false;
+  std::uint64_t delack_gen = 0;
+};
+
+// Ground-truth bookkeeping per data direction, keyed by 64-bit eACK.
+struct TruthEntry {
+  Timestamp first_cross = 0;
+  std::uint64_t start = 0;
+  int crossings = 0;
+  bool ambiguous = false;  // retransmitted (Karn exclusion)
+};
+
+class FlowSim {
+ public:
+  explicit FlowSim(const FlowProfile& profile)
+      : p_(profile), rng_(mix64(profile.seed ^ hash_tuple(profile.tuple))) {}
+
+  trace::Trace run();
+
+ private:
+  // --- event plumbing -----------------------------------------------------
+  void push(Timestamp t, Event event) {
+    event.t = t;
+    event.order = next_order_++;
+    queue_.push(std::move(event));
+  }
+
+  // --- transmission path --------------------------------------------------
+  void transmit(SimPacket packet, Timestamp t);
+  void on_cross(const SimPacket& packet, Timestamp t);
+  void on_arrive(const SimPacket& packet, Timestamp t);
+
+  // --- endpoint logic -----------------------------------------------------
+  void send_segment(Dir dir, Segment& segment, Timestamp t, bool rtx);
+  void send_pure_ack(Dir data_dir, Timestamp t, bool allow_spike);
+  void emit_ack_packet(Dir data_dir, Timestamp t, bool invisible = false);
+  void try_send(Dir dir, Timestamp t);
+  void sender_on_ack(Dir dir, std::uint64_t ack64, bool pure_ack,
+                     Timestamp t);
+  void receiver_on_data(Dir dir, const SimPacket& packet, Timestamp t);
+  void schedule_rto(Dir dir, Timestamp t);
+  void on_rto(Dir dir, std::uint64_t generation, Timestamp t);
+  void retransmit(Dir dir, Segment& segment, Timestamp t);
+  void abort_flow();
+
+  Timestamp current_rto(const Sender& sender) const;
+  FourTuple tuple_of(Dir dir) const {
+    return dir == kUp ? p_.tuple : p_.tuple.reversed();
+  }
+
+  const FlowProfile& p_;
+  Rng rng_;
+  trace::Trace trace_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_order_ = 0;
+
+  Sender sender_[2];
+  Receiver receiver_[2];  // receiver_[d] receives data of direction d
+  // FIFO enforcement per travel direction: paths deliver in order unless a
+  // packet is explicitly selected for reordering, which bypasses the clamp
+  // (so later packets overtake it).
+  Timestamp last_cross_[2] = {0, 0};
+  Timestamp last_arrive_[2] = {0, 0};
+  std::map<std::uint64_t, TruthEntry> truth_[2];
+  std::uint64_t highest_ack_crossed_[2] = {0, 0};
+  bool highest_ack_seen_[2] = {false, false};
+  bool flow_aborted_ = false;
+};
+
+Timestamp FlowSim::current_rto(const Sender& sender) const {
+  const double base = sender.srtt_ns > 0.0
+                          ? 2.0 * sender.srtt_ns
+                          : 3.0 * static_cast<double>(p_.internal->floor(0) +
+                                                      p_.external->floor(0));
+  Timestamp rto = std::max<Timestamp>(
+      p_.min_rto, static_cast<Timestamp>(base));
+  // Exponential backoff, capped to keep event horizons bounded.
+  for (int i = 0; i < std::min(sender.backoff, 6); ++i) rto *= 2;
+  return std::min<Timestamp>(rto, sec(60));
+}
+
+trace::Trace FlowSim::run() {
+  // Unwrapped ISNs: the wire sequence number is the low 32 bits, so choosing
+  // an ISN near 2^32 exercises wraparound on the wire while the simulator's
+  // arithmetic stays linear.
+  sender_[kUp].isn = p_.isn_client;
+  sender_[kUp].total = p_.bytes_up;
+  sender_[kDown].isn = p_.isn_server;
+  sender_[kDown].total = p_.bytes_down;
+  for (Dir dir : {kUp, kDown}) {
+    Sender& s = sender_[dir];
+    s.snd_una = s.isn;
+    s.snd_nxt = s.isn;
+    s.data_start = s.isn + 1;  // SYN consumes one sequence number
+  }
+
+  // Client opens the connection.
+  Segment syn{sender_[kUp].isn, sender_[kUp].isn + 1, 0, tcp_flag::kSyn, 0,
+              0};
+  sender_[kUp].snd_nxt = syn.end;
+  send_segment(kUp, syn, p_.start, /*rtx=*/false);
+  sender_[kUp].inflight.emplace(syn.end, syn);
+  schedule_rto(kUp, p_.start);
+
+  // Upper bound on events: generous multiple of the segment count so a
+  // logic bug cannot spin forever.
+  const std::uint64_t segments =
+      (p_.bytes_up + p_.bytes_down) / std::max<std::uint16_t>(p_.mss, 1) + 16;
+  const std::uint64_t max_events = 400 * segments + 100000;
+  std::uint64_t processed = 0;
+
+  while (!queue_.empty() && processed++ < max_events) {
+    Event event = queue_.top();
+    queue_.pop();
+    switch (event.kind) {
+      case EventKind::kCross:
+        on_cross(event.packet, event.t);
+        break;
+      case EventKind::kArrive:
+        if (!flow_aborted_) on_arrive(event.packet, event.t);
+        break;
+      case EventKind::kRto:
+        if (!flow_aborted_) on_rto(event.dir, event.generation, event.t);
+        break;
+      case EventKind::kDelayedAck:
+        if (!flow_aborted_ && receiver_[event.dir].delack_pending &&
+            receiver_[event.dir].delack_gen == event.generation) {
+          receiver_[event.dir].delack_pending = false;
+          send_pure_ack(event.dir, event.t, /*allow_spike=*/true);
+        }
+        break;
+      case EventKind::kSendAck:
+        if (!flow_aborted_) emit_ack_packet(event.dir, event.t);
+        break;
+    }
+  }
+
+  trace_.sort_by_time();
+  return std::move(trace_);
+}
+
+void FlowSim::transmit(SimPacket packet, Timestamp t) {
+  const bool from_client = packet.dir == kUp;
+  const RttModel& sender_leg = from_client ? *p_.internal : *p_.external;
+  const RttModel& receiver_leg = from_client ? *p_.external : *p_.internal;
+
+  const Timestamp to_monitor = sender_leg.sample(t, rng_) / 2;
+  const Timestamp to_receiver = receiver_leg.sample(t, rng_) / 2;
+
+  Timestamp cross_t = t + to_monitor;
+  Timestamp arrive_t = cross_t + to_receiver;
+
+  const bool reordered =
+      p_.reorder_prob > 0.0 && rng_.bernoulli(p_.reorder_prob);
+  if (reordered) {
+    // Delay upstream of the monitor so both the monitor and the receiver
+    // observe the packet out of order. Reordered packets bypass the FIFO
+    // clamp below, letting subsequent packets overtake them.
+    const Timestamp extra =
+        p_.reorder_extra + static_cast<Timestamp>(
+                               rng_.uniform() *
+                               static_cast<double>(p_.reorder_extra));
+    cross_t += extra;
+    arrive_t += extra;
+  }
+
+  const int dir = packet.dir;
+  if (!reordered) {
+    // Per-direction FIFO: jitter must not spuriously reorder a burst.
+    cross_t = std::max(cross_t, last_cross_[dir] + 1);
+    arrive_t = std::max(arrive_t, last_arrive_[dir] + 1);
+    last_arrive_[dir] = arrive_t;
+  }
+
+  if (p_.loss_sender_side > 0.0 && rng_.bernoulli(p_.loss_sender_side)) {
+    return;  // lost before the monitor: invisible to the trace
+  }
+
+  if (!packet.invisible_to_monitor) {
+    if (!reordered) last_cross_[dir] = cross_t;
+    Event cross;
+    cross.kind = EventKind::kCross;
+    cross.packet = packet;
+    push(cross_t, std::move(cross));
+  }
+
+  if (p_.loss_receiver_side > 0.0 && rng_.bernoulli(p_.loss_receiver_side)) {
+    return;  // seen by the monitor, lost before the receiver
+  }
+
+  Event arrive;
+  arrive.kind = EventKind::kArrive;
+  arrive.packet = packet;
+  push(arrive_t, std::move(arrive));
+}
+
+void FlowSim::on_cross(const SimPacket& packet, Timestamp t) {
+  PacketRecord record = packet.pkt;
+  record.ts = t;
+  trace_.add(record);
+
+  const Dir dir = packet.dir;
+  if (packet.span > 0) {
+    TruthEntry& entry = truth_[dir][packet.seq64 + packet.span];
+    if (entry.crossings == 0) {
+      entry.first_cross = t;
+      entry.start = packet.seq64;
+    }
+    ++entry.crossings;
+    // Ground truth is defined from the vantage point: a range is ambiguous
+    // iff MORE THAN ONE copy crossed the monitor. A retransmission whose
+    // original was lost upstream looks (and measures) exactly like a single
+    // clean transmission here, so it stays sampleable.
+    if (entry.crossings >= 2) entry.ambiguous = true;
+  }
+
+  if (packet.has_ack && !packet.optimistic) {
+    const Dir acked = opposite(dir);
+    if (!highest_ack_seen_[acked] ||
+        packet.ack64 > highest_ack_crossed_[acked]) {
+      highest_ack_seen_[acked] = true;
+      highest_ack_crossed_[acked] = packet.ack64;
+      auto it = truth_[acked].find(packet.ack64);
+      if (it != truth_[acked].end() && it->second.crossings == 1 &&
+          !it->second.ambiguous) {
+        trace::TruthSample sample;
+        sample.tuple = tuple_of(acked);
+        sample.eack = static_cast<SeqNum>(packet.ack64);
+        sample.seq_ts = it->second.first_cross;
+        sample.ack_ts = t;
+        trace_.add_truth(sample);
+      }
+    }
+  }
+}
+
+void FlowSim::on_arrive(const SimPacket& packet, Timestamp t) {
+  const Dir dir = packet.dir;
+  const bool is_syn = (packet.pkt.flags & tcp_flag::kSyn) != 0;
+
+  if (is_syn && !packet.has_ack) {
+    // SYN arriving at the server.
+    if (!p_.complete_handshake) return;  // unresponsive peer
+    Receiver& rx = receiver_[kUp];
+    if (!rx.established) {
+      rx.established = true;
+      rx.rcv_nxt = packet.seq64 + packet.span;
+      Sender& down = sender_[kDown];
+      Segment syn_ack{down.isn, down.isn + 1, 0,
+                      static_cast<std::uint8_t>(tcp_flag::kSyn |
+                                                tcp_flag::kAck),
+                      0, 0};
+      down.snd_nxt = syn_ack.end;
+      send_segment(kDown, syn_ack, t, /*rtx=*/false);
+      down.inflight.emplace(syn_ack.end, syn_ack);
+      schedule_rto(kDown, t);
+    }
+    return;
+  }
+
+  if (is_syn && packet.has_ack) {
+    // SYN-ACK arriving at the client: establish the down-direction receiver
+    // before processing data/ack so the handshake ACK reflects it.
+    Receiver& rx = receiver_[kDown];
+    if (!rx.established) {
+      rx.established = true;
+      rx.rcv_nxt = packet.seq64 + packet.span;
+      sender_on_ack(kUp, packet.ack64, /*pure_ack=*/false, t);
+      send_pure_ack(kDown, t, /*allow_spike=*/false);  // handshake third
+      try_send(kUp, t);
+    } else {
+      // Duplicate SYN-ACK (our handshake ACK was lost): re-ACK it.
+      sender_on_ack(kUp, packet.ack64, /*pure_ack=*/false, t);
+      send_pure_ack(kDown, t, /*allow_spike=*/false);
+    }
+    return;
+  }
+
+  // Regular segment: data first (so responses piggyback the new rcv_nxt),
+  // then the acknowledgment it carries. Only pure ACKs (no payload) count
+  // toward duplicate-ACK fast retransmit, per TCP's dup-ACK definition.
+  if (packet.span > 0) receiver_on_data(dir, packet, t);
+  if (packet.has_ack) {
+    sender_on_ack(opposite(dir), packet.ack64, packet.span == 0, t);
+  }
+}
+
+void FlowSim::send_segment(Dir dir, Segment& segment, Timestamp t, bool rtx) {
+  if (segment.first_sent == 0) segment.first_sent = t;
+
+  SimPacket packet;
+  packet.dir = dir;
+  packet.seq64 = segment.start;
+  packet.span = segment.end - segment.start;
+  packet.rtx = rtx;
+
+  PacketRecord& record = packet.pkt;
+  record.tuple = tuple_of(dir);
+  record.seq = static_cast<SeqNum>(segment.start);
+  record.payload = segment.payload;
+  record.flags = segment.flags;
+  record.outbound = dir == kUp;
+
+  // Piggyback the current cumulative ACK when this endpoint has established
+  // its receiving half (always true after the handshake). Carrying the ACK
+  // discharges any pending delayed-ACK obligation — otherwise the timer
+  // would later emit a redundant duplicate ACK no real stack sends.
+  Receiver& rx = receiver_[opposite(dir)];
+  if (rx.established) {
+    packet.has_ack = true;
+    packet.ack64 = rx.rcv_nxt;
+    record.flags |= tcp_flag::kAck;
+    record.ack = static_cast<SeqNum>(rx.rcv_nxt);
+    rx.unacked_segments = 0;
+    rx.delack_pending = false;
+    ++rx.delack_gen;
+  }
+
+  transmit(packet, t);
+}
+
+void FlowSim::send_pure_ack(Dir data_dir, Timestamp t, bool allow_spike) {
+  Receiver& rx = receiver_[data_dir];
+  rx.unacked_segments = 0;
+  rx.delack_pending = false;
+  ++rx.delack_gen;
+
+  if (allow_spike && p_.ack_spike_prob > 0.0 &&
+      rng_.bernoulli(p_.ack_spike_prob)) {
+    // ACK-visibility outage: the real ACK reaches the sender on time (no
+    // retransmission), but the monitor misses it; a keep-alive re-ACK much
+    // later is the first acknowledgment the vantage point observes.
+    emit_ack_packet(data_dir, t, /*invisible=*/true);
+    Event event;
+    event.kind = EventKind::kSendAck;
+    event.dir = data_dir;
+    push(t + p_.ack_spike_delay, std::move(event));
+    return;
+  }
+  emit_ack_packet(data_dir, t);
+}
+
+void FlowSim::emit_ack_packet(Dir data_dir, Timestamp t, bool invisible) {
+  const Receiver& rx = receiver_[data_dir];
+  if (!rx.established) return;
+  const Dir travel = opposite(data_dir);
+  const Sender& own_sender = sender_[travel];
+
+  SimPacket packet;
+  packet.dir = travel;
+  packet.seq64 = own_sender.snd_nxt;
+  packet.span = 0;
+  packet.has_ack = true;
+  packet.ack64 = rx.rcv_nxt;
+  packet.invisible_to_monitor = invisible;
+
+  if (p_.optimistic_ack_prob > 0.0 &&
+      rng_.bernoulli(p_.optimistic_ack_prob)) {
+    packet.ack64 = rx.rcv_nxt + p_.mss;  // acknowledge data not yet received
+    packet.optimistic = true;
+  }
+
+  PacketRecord& record = packet.pkt;
+  record.tuple = tuple_of(travel);
+  record.seq = static_cast<SeqNum>(packet.seq64);
+  record.ack = static_cast<SeqNum>(packet.ack64);
+  record.flags = tcp_flag::kAck;
+  record.payload = 0;
+  record.outbound = travel == kUp;
+
+  transmit(packet, t);
+}
+
+void FlowSim::try_send(Dir dir, Timestamp t) {
+  Sender& s = sender_[dir];
+  if (s.aborted || !s.syn_acked) return;
+  const std::uint64_t window =
+      std::uint64_t{p_.window_segments} * std::max<std::uint16_t>(p_.mss, 1);
+
+  bool sent = false;
+  while (s.offset < s.total && s.snd_nxt - s.snd_una < window) {
+    const std::uint16_t len = static_cast<std::uint16_t>(
+        std::min<std::uint64_t>(p_.mss, s.total - s.offset));
+    Segment segment{s.snd_nxt, s.snd_nxt + len, len, tcp_flag::kPsh, 0, 0};
+    s.snd_nxt += len;
+    s.offset += len;
+    send_segment(dir, segment, t, /*rtx=*/false);
+    s.inflight.emplace(segment.end, segment);
+    sent = true;
+  }
+
+  if (p_.fin_teardown && s.offset == s.total && !s.fin_sent &&
+      s.snd_nxt - s.snd_una < window) {
+    Segment fin{s.snd_nxt, s.snd_nxt + 1, 0, tcp_flag::kFin, 0, 0};
+    s.snd_nxt += 1;
+    s.fin_sent = true;
+    send_segment(dir, fin, t, /*rtx=*/false);
+    s.inflight.emplace(fin.end, fin);
+    sent = true;
+  }
+
+  if (sent) schedule_rto(dir, t);
+}
+
+void FlowSim::sender_on_ack(Dir dir, std::uint64_t ack64, bool pure_ack,
+                            Timestamp t) {
+  Sender& s = sender_[dir];
+  if (s.aborted) return;
+  const std::uint64_t ack = std::min(ack64, s.snd_nxt);  // clamp optimistic
+
+  if (ack > s.snd_una) {
+    // New data acknowledged: retire covered segments, update SRTT from an
+    // unambiguous exact match (Karn's rule).
+    auto exact = s.inflight.find(ack);
+    if (exact != s.inflight.end() && exact->second.retx == 0) {
+      const double sample = static_cast<double>(t - exact->second.first_sent);
+      s.srtt_ns = s.srtt_ns <= 0.0 ? sample : 0.875 * s.srtt_ns + 0.125 * sample;
+    }
+    while (!s.inflight.empty() && s.inflight.begin()->first <= ack) {
+      s.inflight.erase(s.inflight.begin());
+    }
+    s.snd_una = ack;
+    s.dup_acks = 0;
+    s.backoff = 0;
+    if (!s.syn_acked && ack > s.isn) s.syn_acked = true;
+    if (!s.inflight.empty()) {
+      schedule_rto(dir, t);
+    } else {
+      ++s.rto_gen;  // cancel outstanding timer
+    }
+    try_send(dir, t);
+    return;
+  }
+
+  if (pure_ack && ack == s.snd_una && !s.inflight.empty()) {
+    if (++s.dup_acks == 3) {
+      // Fast retransmit the oldest outstanding segment.
+      Segment& oldest = s.inflight.begin()->second;
+      if (oldest.retx < p_.max_segment_retx) {
+        retransmit(dir, oldest, t);
+      }
+      s.dup_acks = 0;
+    }
+  }
+  // ack < snd_una: stale (reordered) ACK, ignored.
+}
+
+void FlowSim::receiver_on_data(Dir dir, const SimPacket& packet,
+                               Timestamp t) {
+  Receiver& rx = receiver_[dir];
+  if (!rx.established) return;
+
+  const std::uint64_t start = packet.seq64;
+  const std::uint64_t end = packet.seq64 + packet.span;
+
+  if (end <= rx.rcv_nxt) {
+    // Fully duplicate (spurious retransmission): re-ACK immediately.
+    send_pure_ack(dir, t, /*allow_spike=*/false);
+    return;
+  }
+
+  if (start > rx.rcv_nxt) {
+    // Hole: buffer and emit an immediate duplicate ACK.
+    auto [it, inserted] = rx.ooo.emplace(start, end);
+    if (!inserted && end > it->second) it->second = end;
+    send_pure_ack(dir, t, /*allow_spike=*/false);
+    return;
+  }
+
+  // In-order (possibly overlapping) data: advance over it and any buffered
+  // contiguous out-of-order ranges.
+  const bool filled_hole = !rx.ooo.empty();
+  rx.rcv_nxt = end;
+  auto it = rx.ooo.begin();
+  while (it != rx.ooo.end() && it->first <= rx.rcv_nxt) {
+    rx.rcv_nxt = std::max(rx.rcv_nxt, it->second);
+    it = rx.ooo.erase(it);
+  }
+
+  const bool control = (packet.pkt.flags &
+                        (tcp_flag::kFin | tcp_flag::kSyn)) != 0;
+  if (filled_hole || control) {
+    // Filling a hole triggers the cumulative ACK that inflates RTT samples
+    // for reordered packets (Section 2.2); FINs are ACKed immediately.
+    send_pure_ack(dir, t, /*allow_spike=*/true);
+    return;
+  }
+
+  if (++rx.unacked_segments >= p_.ack_every) {
+    send_pure_ack(dir, t, /*allow_spike=*/true);
+  } else if (!rx.delack_pending) {
+    rx.delack_pending = true;
+    ++rx.delack_gen;
+    Event event;
+    event.kind = EventKind::kDelayedAck;
+    event.dir = dir;
+    event.generation = rx.delack_gen;
+    push(t + p_.delayed_ack_timeout, std::move(event));
+  }
+}
+
+void FlowSim::schedule_rto(Dir dir, Timestamp t) {
+  Sender& s = sender_[dir];
+  ++s.rto_gen;
+  Event event;
+  event.kind = EventKind::kRto;
+  event.dir = dir;
+  event.generation = s.rto_gen;
+  push(t + current_rto(s), std::move(event));
+}
+
+void FlowSim::on_rto(Dir dir, std::uint64_t generation, Timestamp t) {
+  Sender& s = sender_[dir];
+  if (generation != s.rto_gen || s.inflight.empty() || s.aborted) return;
+
+  Segment& oldest = s.inflight.begin()->second;
+  const bool is_syn = (oldest.flags & tcp_flag::kSyn) != 0;
+  const int limit = is_syn && !p_.complete_handshake ? p_.syn_retries
+                                                     : p_.max_segment_retx;
+  if (oldest.retx >= limit) {
+    abort_flow();
+    return;
+  }
+  ++s.backoff;
+  retransmit(dir, oldest, t);
+  schedule_rto(dir, t);
+}
+
+void FlowSim::retransmit(Dir dir, Segment& segment, Timestamp t) {
+  ++segment.retx;
+  // Karn's exclusion is applied when the retransmitted copy CROSSES the
+  // monitor (see on_cross), not here at send time: ground truth is defined
+  // from the vantage point's perspective, and an acknowledgment that
+  // crosses before any retransmitted copy is unambiguous to the monitor. A
+  // retransmission lost upstream of the monitor is invisible to any
+  // passive tool there (the Section 7 limitation) and is deliberately not
+  // penalized.
+  send_segment(dir, segment, t, /*rtx=*/true);
+}
+
+void FlowSim::abort_flow() {
+  flow_aborted_ = true;
+  for (Dir dir : {kUp, kDown}) {
+    sender_[dir].aborted = true;
+    sender_[dir].inflight.clear();
+    ++sender_[dir].rto_gen;
+  }
+}
+
+}  // namespace
+
+trace::Trace simulate_flow(const FlowProfile& profile) {
+  assert(profile.internal && profile.external &&
+         "FlowProfile requires RTT models for both legs");
+  return FlowSim(profile).run();
+}
+
+}  // namespace dart::gen

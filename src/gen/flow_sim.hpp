@@ -1,0 +1,76 @@
+// Event-driven simulation of a single TCP connection as seen by a passive
+// monitor between the client (internal network) and server (Internet).
+//
+// Topology:   client ---[internal leg]--- MONITOR ---[external leg]--- server
+//
+// The simulator implements simplified but protocol-faithful TCP endpoints:
+//   * three-way handshake (optionally never completed: the paper finds 72.5%
+//     of campus connections are incomplete handshakes, Figure 10)
+//   * sliding-window data transfer in MSS-sized segments, both directions
+//   * cumulative ACKs (ack-every-n), delayed ACKs, immediate duplicate ACKs
+//     on out-of-order arrival — the behaviours that strand Packet Tracker
+//     entries and drive Dart's lazy eviction (Sections 2.3, 3.2)
+//   * loss on either side of the monitor, RTO and fast retransmit — the
+//     retransmission ambiguity of Section 2.2
+//   * reordering injected upstream of the monitor — the duplicate-ACK
+//     ambiguity of Section 2.2
+//   * optional optimistic ACKs (Section 7), ACK-delay spikes (the keep-alive
+//     long-RTT tail of Figure 9c), FIN teardown or silent abort
+//
+// Alongside the packet stream, the simulator records ground truth: the RTT
+// samples a perfect passive monitor would collect (exact eACK match, Karn
+// exclusion of retransmitted ranges). Monitors are validated against it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/four_tuple.hpp"
+#include "gen/rtt_model.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::gen {
+
+struct FlowProfile {
+  FourTuple tuple{};   ///< client -> server; packets on it are "outbound".
+  Timestamp start = 0;
+
+  std::uint64_t bytes_up = 0;    ///< client -> server payload bytes.
+  std::uint64_t bytes_down = 0;  ///< server -> client payload bytes.
+  std::uint16_t mss = 1460;
+  std::uint32_t window_segments = 8;  ///< max in-flight segments per side.
+
+  std::uint32_t ack_every = 2;  ///< cumulative ACK one per n segments.
+  Timestamp delayed_ack_timeout = msec(40);
+
+  double loss_sender_side = 0.0;    ///< drop between sender and monitor.
+  double loss_receiver_side = 0.0;  ///< drop between monitor and receiver.
+  double reorder_prob = 0.0;        ///< extra delay upstream of the monitor.
+  Timestamp reorder_extra = msec(2);
+
+  double ack_spike_prob = 0.0;  ///< receiver stalls an ACK (keep-alive tail).
+  Timestamp ack_spike_delay = sec(3);
+  double optimistic_ack_prob = 0.0;  ///< misbehaving receiver (Section 7).
+
+  bool complete_handshake = true;  ///< false: SYN(s) only, no server reply.
+  int syn_retries = 1;             ///< SYN retransmits for incomplete flows.
+  bool fin_teardown = true;        ///< false: connection just goes silent.
+
+  SeqNum isn_client = 1000;
+  SeqNum isn_server = 2000;
+
+  Timestamp min_rto = msec(200);
+  int max_segment_retx = 4;  ///< give up (abort flow) beyond this.
+
+  RttModelPtr internal;  ///< client <-> monitor.
+  RttModelPtr external;  ///< monitor <-> server.
+
+  std::uint64_t seed = 1;
+};
+
+/// Simulate one connection; returns its monitor-observed, time-ordered
+/// packet stream plus ground-truth samples (both legs' truth uses the
+/// external leg convention: SEQ = outbound data matched by inbound ACKs, and
+/// internal truth: SEQ = inbound data matched by outbound ACKs).
+trace::Trace simulate_flow(const FlowProfile& profile);
+
+}  // namespace dart::gen

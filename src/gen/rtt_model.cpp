@@ -1,0 +1,89 @@
+#include "gen/rtt_model.hpp"
+
+#include <algorithm>
+
+namespace dart::gen {
+
+JitterRtt::JitterRtt(Timestamp base, double sigma, double min_factor)
+    : base_(base), sigma_(sigma), min_factor_(min_factor) {}
+
+Timestamp JitterRtt::sample(Timestamp, Rng& rng) const {
+  const double factor =
+      std::max(min_factor_, std::exp(rng.normal(0.0, sigma_)));
+  return static_cast<Timestamp>(static_cast<double>(base_) * factor);
+}
+
+Timestamp JitterRtt::floor(Timestamp) const {
+  return static_cast<Timestamp>(static_cast<double>(base_) * min_factor_);
+}
+
+StepRtt::StepRtt(RttModelPtr before, RttModelPtr after, Timestamp switch_time)
+    : before_(std::move(before)),
+      after_(std::move(after)),
+      switch_time_(switch_time) {}
+
+Timestamp StepRtt::sample(Timestamp t, Rng& rng) const {
+  return t < switch_time_ ? before_->sample(t, rng) : after_->sample(t, rng);
+}
+
+Timestamp StepRtt::floor(Timestamp t) const {
+  return t < switch_time_ ? before_->floor(t) : after_->floor(t);
+}
+
+RampRtt::RampRtt(Timestamp base, Timestamp amplitude, Timestamp period,
+                 double jitter_sigma)
+    : base_(base),
+      amplitude_(amplitude),
+      period_(period == 0 ? 1 : period),
+      jitter_sigma_(jitter_sigma) {}
+
+Timestamp RampRtt::sample(Timestamp t, Rng& rng) const {
+  const Timestamp queue = floor(t) - base_;
+  const double jitter =
+      std::max(0.0, std::exp(rng.normal(0.0, jitter_sigma_)) - 1.0);
+  return base_ + queue +
+         static_cast<Timestamp>(static_cast<double>(base_) * jitter);
+}
+
+Timestamp RampRtt::floor(Timestamp t) const {
+  const double phase =
+      static_cast<double>(t % period_) / static_cast<double>(period_);
+  return base_ +
+         static_cast<Timestamp>(static_cast<double>(amplitude_) * phase);
+}
+
+SumRtt::SumRtt(RttModelPtr first, RttModelPtr second)
+    : first_(std::move(first)), second_(std::move(second)) {}
+
+Timestamp SumRtt::sample(Timestamp t, Rng& rng) const {
+  return first_->sample(t, rng) + second_->sample(t, rng);
+}
+
+Timestamp SumRtt::floor(Timestamp t) const {
+  return first_->floor(t) + second_->floor(t);
+}
+
+RttModelPtr sum_rtt(RttModelPtr first, RttModelPtr second) {
+  return std::make_shared<SumRtt>(std::move(first), std::move(second));
+}
+
+RttModelPtr constant_rtt(Timestamp rtt) {
+  return std::make_shared<ConstantRtt>(rtt);
+}
+
+RttModelPtr jitter_rtt(Timestamp base, double sigma, double min_factor) {
+  return std::make_shared<JitterRtt>(base, sigma, min_factor);
+}
+
+RttModelPtr step_rtt(RttModelPtr before, RttModelPtr after,
+                     Timestamp switch_time) {
+  return std::make_shared<StepRtt>(std::move(before), std::move(after),
+                                   switch_time);
+}
+
+RttModelPtr ramp_rtt(Timestamp base, Timestamp amplitude, Timestamp period,
+                     double jitter_sigma) {
+  return std::make_shared<RampRtt>(base, amplitude, period, jitter_sigma);
+}
+
+}  // namespace dart::gen

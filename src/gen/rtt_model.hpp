@@ -1,0 +1,116 @@
+// Path round-trip-time models for the workload generator.
+//
+// Each leg of a simulated connection (client<->monitor "internal" leg and
+// monitor<->server "external" leg, Section 2.1 of the paper) owns an
+// RttModel. A packet traversing a leg at time t experiences half of one draw
+// from the model, so a SEQ/ACK exchange samples the model twice — matching
+// how real path jitter accrues per direction.
+//
+// Models provided:
+//   ConstantRtt  — fixed propagation delay (unit tests, oracles)
+//   JitterRtt    — base + lognormal multiplicative jitter (typical paths)
+//   StepRtt      — switches model at a set time (BGP interception attack,
+//                  Figures 7/8: ~25 ms -> ~120 ms at attack onset)
+//   RampRtt      — base plus a sawtooth queueing component (bufferbloat,
+//                  Section 7 "Identifying bufferbloat")
+#pragma once
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "common/time.hpp"
+
+namespace dart::gen {
+
+class RttModel {
+ public:
+  virtual ~RttModel() = default;
+
+  /// Draw a full round-trip time for a traversal starting at `t`.
+  virtual Timestamp sample(Timestamp t, Rng& rng) const = 0;
+
+  /// The deterministic floor of the model at time `t` (used by tests and by
+  /// detection oracles that need the true propagation delay).
+  virtual Timestamp floor(Timestamp t) const = 0;
+};
+
+using RttModelPtr = std::shared_ptr<const RttModel>;
+
+class ConstantRtt final : public RttModel {
+ public:
+  explicit ConstantRtt(Timestamp rtt) : rtt_(rtt) {}
+  Timestamp sample(Timestamp, Rng&) const override { return rtt_; }
+  Timestamp floor(Timestamp) const override { return rtt_; }
+
+ private:
+  Timestamp rtt_;
+};
+
+/// base * exp(N(0, sigma)) — multiplicative lognormal jitter around a fixed
+/// propagation floor; the floor itself is never undershot by more than the
+/// model's clamp (samples below `base` are possible only down to min_factor).
+class JitterRtt final : public RttModel {
+ public:
+  JitterRtt(Timestamp base, double sigma, double min_factor = 0.9);
+  Timestamp sample(Timestamp t, Rng& rng) const override;
+  Timestamp floor(Timestamp) const override;
+
+ private:
+  Timestamp base_;
+  double sigma_;
+  double min_factor_;
+};
+
+/// Delegates to `before` until `switch_time`, then to `after`.
+class StepRtt final : public RttModel {
+ public:
+  StepRtt(RttModelPtr before, RttModelPtr after, Timestamp switch_time);
+  Timestamp sample(Timestamp t, Rng& rng) const override;
+  Timestamp floor(Timestamp t) const override;
+
+ private:
+  RttModelPtr before_;
+  RttModelPtr after_;
+  Timestamp switch_time_;
+};
+
+/// base + amplitude * sawtooth(t / period) + jitter — a standing queue that
+/// builds and drains, the RTT signature of bufferbloat.
+class RampRtt final : public RttModel {
+ public:
+  RampRtt(Timestamp base, Timestamp amplitude, Timestamp period,
+          double jitter_sigma);
+  Timestamp sample(Timestamp t, Rng& rng) const override;
+  Timestamp floor(Timestamp t) const override;
+
+ private:
+  Timestamp base_;
+  Timestamp amplitude_;
+  Timestamp period_;
+  double jitter_sigma_;
+};
+
+/// The concatenation of two path segments: each traversal samples both and
+/// adds them. Used to compose multi-vantage-point views (Section 7,
+/// "Deployment at multiple on-path vantage points"): a monitor at VP1 sees
+/// external leg = segment(VP1,VP2) + segment(VP2,server).
+class SumRtt final : public RttModel {
+ public:
+  SumRtt(RttModelPtr first, RttModelPtr second);
+  Timestamp sample(Timestamp t, Rng& rng) const override;
+  Timestamp floor(Timestamp t) const override;
+
+ private:
+  RttModelPtr first_;
+  RttModelPtr second_;
+};
+
+RttModelPtr constant_rtt(Timestamp rtt);
+RttModelPtr jitter_rtt(Timestamp base, double sigma, double min_factor = 0.9);
+RttModelPtr step_rtt(RttModelPtr before, RttModelPtr after,
+                     Timestamp switch_time);
+RttModelPtr ramp_rtt(Timestamp base, Timestamp amplitude, Timestamp period,
+                     double jitter_sigma);
+RttModelPtr sum_rtt(RttModelPtr first, RttModelPtr second);
+
+}  // namespace dart::gen

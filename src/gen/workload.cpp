@@ -1,0 +1,301 @@
+#include "gen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dart::gen {
+namespace {
+
+// Well-known server ports weighted toward web traffic.
+constexpr std::uint16_t kServerPorts[] = {443, 443, 443, 443, 443, 443,
+                                          80,  80,  8080, 22};
+
+Ipv4Addr random_host_in(const Ipv4Prefix& prefix, Rng& rng) {
+  const std::uint32_t host_bits = 32U - prefix.length();
+  const std::uint32_t span = host_bits >= 32
+                                 ? ~std::uint32_t{0}
+                                 : (std::uint32_t{1} << host_bits) - 1;
+  // Avoid .0 network and broadcast-looking hosts for readability.
+  const std::uint32_t host =
+      1 + static_cast<std::uint32_t>(rng.uniform_int(0, span - 2));
+  return Ipv4Addr{prefix.base().value() | host};
+}
+
+Ipv4Addr random_server(Rng& rng) {
+  // Public-looking server pools: a handful of /16s stand in for CDNs and
+  // cloud providers, so per-/24 aggregation in the analytics has structure.
+  static constexpr std::uint32_t kPools[] = {
+      (23U << 24) | (52U << 16),   // 23.52/16
+      (52U << 24) | (84U << 16),   // 52.84/16
+      (142U << 24) | (250U << 16), // 142.250/16
+      (151U << 24) | (101U << 16), // 151.101/16
+      (104U << 24) | (16U << 16),  // 104.16/16
+  };
+  const std::uint32_t pool =
+      kPools[rng.uniform_int(0, std::size(kPools) - 1)];
+  return Ipv4Addr{pool | static_cast<std::uint32_t>(rng.uniform_int(1, 0xFFFE))};
+}
+
+FourTuple random_tuple(Ipv4Addr client, Rng& rng) {
+  FourTuple tuple;
+  tuple.src_ip = client;
+  tuple.dst_ip = random_server(rng);
+  tuple.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+  tuple.dst_port = kServerPorts[rng.uniform_int(0, std::size(kServerPorts) - 1)];
+  return tuple;
+}
+
+Timestamp lognormal_ns(Rng& rng, double median_ms, double sigma) {
+  return from_ms(median_ms * std::exp(rng.normal(0.0, sigma)));
+}
+
+}  // namespace
+
+trace::Trace build_campus(const CampusConfig& config) {
+  Rng rng(config.seed);
+  std::vector<trace::Trace> per_flow;
+  per_flow.reserve(config.connections);
+
+  for (std::uint32_t i = 0; i < config.connections; ++i) {
+    Rng flow_rng = rng.fork(i + 1);
+
+    const bool incomplete = flow_rng.bernoulli(config.incomplete_fraction);
+    const bool wireless = flow_rng.bernoulli(config.wireless_fraction);
+    const Ipv4Prefix& subnet =
+        wireless ? config.wireless_subnet : config.wired_subnet;
+
+    FlowProfile profile;
+    profile.tuple = random_tuple(random_host_in(subnet, flow_rng), flow_rng);
+    profile.start =
+        config.start_offset +
+        static_cast<Timestamp>(flow_rng.uniform() *
+                               static_cast<double>(config.duration));
+    profile.seed = flow_rng.next_u64();
+
+    const Timestamp internal_base =
+        wireless ? lognormal_ns(flow_rng, config.wireless_internal_median_ms,
+                                config.wireless_internal_sigma)
+                 : lognormal_ns(flow_rng, config.wired_internal_median_ms,
+                                config.wired_internal_sigma);
+    const Timestamp external_base = lognormal_ns(
+        flow_rng, config.external_median_ms, config.external_sigma);
+    profile.internal = jitter_rtt(std::max<Timestamp>(internal_base, usec(50)),
+                                  config.per_packet_jitter_sigma);
+    profile.external = jitter_rtt(std::max<Timestamp>(external_base, usec(200)),
+                                  config.per_packet_jitter_sigma);
+
+    if (incomplete) {
+      profile.complete_handshake = false;
+      profile.syn_retries = static_cast<int>(flow_rng.uniform_int(0, 2));
+      profile.bytes_up = 0;
+      profile.bytes_down = 0;
+    } else {
+      const double segments = std::min<double>(
+          config.flow_segments_cap,
+          flow_rng.pareto(config.flow_segments_xm,
+                          config.flow_segments_alpha));
+      const std::uint64_t total_bytes =
+          static_cast<std::uint64_t>(segments) * profile.mss;
+      const double up_share = std::clamp(
+          flow_rng.normal(config.upload_fraction_mean, 0.2), 0.05, 0.95);
+      profile.bytes_up = static_cast<std::uint64_t>(
+          static_cast<double>(total_bytes) * up_share);
+      profile.bytes_down = total_bytes - profile.bytes_up;
+      profile.window_segments =
+          static_cast<std::uint32_t>(flow_rng.uniform_int(4, 24));
+      profile.ack_every =
+          static_cast<std::uint32_t>(flow_rng.uniform_int(1, 3));
+      profile.loss_sender_side = config.loss_rate;
+      profile.loss_receiver_side = config.loss_rate;
+      profile.reorder_prob = config.reorder_prob;
+      profile.reorder_extra = msec(2) + usec(flow_rng.uniform_int(0, 3000));
+      profile.ack_spike_prob = config.ack_spike_prob;
+      profile.ack_spike_delay = sec(1) + msec(flow_rng.uniform_int(0, 9000));
+      profile.fin_teardown = !flow_rng.bernoulli(config.abort_fraction);
+      if (flow_rng.bernoulli(config.wraparound_fraction)) {
+        // Start close enough to 2^32 that the flow wraps on the wire.
+        profile.isn_client = ~SeqNum{0} - static_cast<SeqNum>(
+            flow_rng.uniform_int(0, profile.bytes_up / 2 + 1));
+        profile.isn_server = ~SeqNum{0} - static_cast<SeqNum>(
+            flow_rng.uniform_int(0, profile.bytes_down / 2 + 1));
+      } else {
+        profile.isn_client = static_cast<SeqNum>(flow_rng.next_u64());
+        profile.isn_server = static_cast<SeqNum>(flow_rng.next_u64());
+      }
+    }
+
+    per_flow.push_back(simulate_flow(profile));
+  }
+
+  return trace::merge(std::move(per_flow));
+}
+
+trace::Trace build_syn_flood(const SynFloodConfig& config) {
+  Rng rng(config.seed);
+  std::vector<trace::Trace> per_flow;
+  per_flow.reserve(config.syn_count);
+
+  for (std::uint32_t i = 0; i < config.syn_count; ++i) {
+    Rng flow_rng = rng.fork(i + 1);
+    FlowProfile profile;
+    // Spoofed sources: anywhere in 10/8 toward one victim service.
+    profile.tuple.src_ip =
+        Ipv4Addr{(10U << 24) |
+                 static_cast<std::uint32_t>(flow_rng.uniform_int(1, 0xFFFFFE))};
+    profile.tuple.src_port =
+        static_cast<std::uint16_t>(flow_rng.uniform_int(1024, 65535));
+    profile.tuple.dst_ip = config.victim;
+    profile.tuple.dst_port = config.victim_port;
+    profile.start = static_cast<Timestamp>(
+        flow_rng.uniform() * static_cast<double>(config.duration));
+    profile.complete_handshake = false;
+    profile.syn_retries = 0;
+    profile.internal = jitter_rtt(msec(1), 0.1);
+    profile.external = jitter_rtt(msec(20), 0.1);
+    profile.seed = flow_rng.next_u64();
+    profile.isn_client = static_cast<SeqNum>(flow_rng.next_u64());
+    per_flow.push_back(simulate_flow(profile));
+  }
+
+  return trace::merge(std::move(per_flow));
+}
+
+FourTuple interception_tuple() {
+  FourTuple tuple;
+  tuple.src_ip = Ipv4Addr{10, 8, 4, 21};     // Princeton-side client
+  tuple.dst_ip = Ipv4Addr{198, 51, 100, 77}; // PEERING prefix host
+  tuple.src_port = 41830;
+  tuple.dst_port = 443;
+  return tuple;
+}
+
+trace::Trace build_interception(const InterceptionConfig& config) {
+  Rng rng(config.seed);
+
+  FlowProfile profile;
+  profile.tuple = interception_tuple();
+  profile.start = 0;
+  profile.seed = rng.next_u64();
+  profile.internal = jitter_rtt(usec(400), 0.05);
+  // The external path is rerouted through the adversary at attack_time:
+  // ~25 ms -> ~120 ms (Figure 8).
+  profile.external =
+      step_rtt(jitter_rtt(from_ms(config.pre_attack_rtt_ms),
+                          config.jitter_sigma),
+               jitter_rtt(from_ms(config.post_attack_rtt_ms),
+                          config.jitter_sigma),
+               config.attack_time);
+
+  // A steady interactive exchange: window 1 and per-segment ACKs yield a
+  // continuous ~1 sample per RTT stream, like the paper's monitored session.
+  profile.window_segments = 1;
+  profile.ack_every = 1;
+  profile.mss = 512;
+  // Size the upload so the flow spans the full duration at one segment per
+  // round trip: the per-round RTT differs before and after the attack.
+  const Timestamp pre_span = std::min(config.attack_time, config.duration);
+  const double pre_rounds =
+      static_cast<double>(pre_span) /
+      static_cast<double>(from_ms(config.pre_attack_rtt_ms));
+  const double post_rounds =
+      static_cast<double>(config.duration - pre_span) /
+      static_cast<double>(from_ms(config.post_attack_rtt_ms));
+  profile.bytes_up = static_cast<std::uint64_t>(
+      (pre_rounds + post_rounds) * profile.mss * 1.02);
+  profile.bytes_down = 0;
+
+  std::vector<trace::Trace> traces;
+  traces.push_back(simulate_flow(profile));
+
+  if (config.background_flows > 0) {
+    CampusConfig background;
+    background.seed = config.seed ^ 0xBACC;
+    background.connections = config.background_flows;
+    background.duration = config.duration;
+    traces.push_back(build_campus(background));
+  }
+  return trace::merge(std::move(traces));
+}
+
+trace::Trace build_stranded_attack(const StrandedAttackConfig& config) {
+  Rng rng(config.seed);
+  trace::Trace trace;
+  trace.packets().reserve(static_cast<std::size_t>(config.flows) *
+                          (config.packets_per_flow + 3));
+
+  for (std::uint32_t f = 0; f < config.flows; ++f) {
+    Rng flow_rng = rng.fork(f + 1);
+    const FourTuple tuple =
+        random_tuple(random_host_in(config.source_subnet, flow_rng),
+                     flow_rng);
+    const SeqNum isn_c = static_cast<SeqNum>(flow_rng.next_u64());
+    const SeqNum isn_s = static_cast<SeqNum>(flow_rng.next_u64());
+    const Timestamp start = static_cast<Timestamp>(
+        flow_rng.uniform() * static_cast<double>(config.duration) / 4);
+
+    auto emit = [&trace](Timestamp ts, const FourTuple& t, SeqNum seq,
+                         SeqNum ack, std::uint16_t payload,
+                         std::uint8_t flags, bool outbound) {
+      PacketRecord p;
+      p.ts = ts;
+      p.tuple = t;
+      p.seq = seq;
+      p.ack = ack;
+      p.payload = payload;
+      p.flags = flags;
+      p.outbound = outbound;
+      trace.add(p);
+    };
+
+    // Complete handshake so the -SYN defense does not help.
+    emit(start, tuple, isn_c, 0, 0, tcp_flag::kSyn, true);
+    emit(start + msec(20), tuple.reversed(), isn_s, isn_c + 1, 0,
+         tcp_flag::kSyn | tcp_flag::kAck, false);
+    emit(start + msec(40), tuple, isn_c + 1, isn_s + 1, 0, tcp_flag::kAck,
+         true);
+
+    // A slow drip of in-order data spread across the trace, never ACKed:
+    // the range keeps growing and every record looks forever-valid.
+    SeqNum seq = isn_c + 1;
+    const Timestamp spacing =
+        (config.duration - start) / (config.packets_per_flow + 1);
+    for (std::uint32_t i = 0; i < config.packets_per_flow; ++i) {
+      emit(start + msec(50) + spacing * (i + 1), tuple, seq, isn_s + 1,
+           config.mss, tcp_flag::kAck | tcp_flag::kPsh, true);
+      seq += config.mss;
+    }
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+trace::Trace build_bufferbloat(const BufferbloatConfig& config) {
+  Rng rng(config.seed);
+
+  FlowProfile profile;
+  profile.tuple = FourTuple{Ipv4Addr{10, 8, 9, 9}, Ipv4Addr{203, 0, 113, 50},
+                            50222, 443};
+  profile.start = 0;
+  profile.seed = rng.next_u64();
+  profile.internal = jitter_rtt(usec(300), 0.05);
+  profile.external = ramp_rtt(from_ms(config.base_rtt_ms),
+                              from_ms(config.bloat_amplitude_ms),
+                              config.bloat_period, 0.05);
+  profile.window_segments = 2;
+  profile.ack_every = 1;
+  profile.mss = 1200;
+  const double mean_rtt_s =
+      (config.base_rtt_ms + config.bloat_amplitude_ms / 2.0) / 1e3;
+  const double rounds = static_cast<double>(config.duration) /
+                        static_cast<double>(kNsPerSec) / mean_rtt_s;
+  profile.bytes_up = static_cast<std::uint64_t>(
+      rounds * profile.window_segments * profile.mss * 1.2);
+
+  std::vector<trace::Trace> traces;
+  traces.push_back(simulate_flow(profile));
+  return trace::merge(std::move(traces));
+}
+
+}  // namespace dart::gen

@@ -1,0 +1,132 @@
+// Multi-flow workload scenarios.
+//
+// These stand in for the paper's captures:
+//   * CampusConfig     — the anonymized campus gateway trace (Sections 5, 6):
+//                        a mix of wired and wireless client subnets, heavy-
+//                        tailed flow sizes, ~72.5% incomplete handshakes,
+//                        loss/reordering, and an ACK-stall long tail.
+//   * SynFloodConfig   — the SYN flooding attack Dart must shrug off
+//                        (Section 3.1 "Robust against congestion and SYN
+//                        attacks").
+//   * InterceptionConfig — the PEERING BGP interception experiment
+//                        (Figures 7/8): a monitored long-lived flow whose
+//                        path RTT step-jumps at attack onset.
+//   * BufferbloatConfig  — remote-end bufferbloat RTT oscillation
+//                        (Section 7 "Identifying bufferbloat").
+//
+// All builders are deterministic functions of their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ipv4.hpp"
+#include "gen/flow_sim.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::gen {
+
+struct CampusConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t connections = 20000;  ///< includes incomplete handshakes
+  Timestamp duration = sec(60);       ///< flow start times spread over this
+  Timestamp start_offset = 0;         ///< shift all flow starts (for
+                                      ///< composing phased scenarios)
+
+  /// Fraction of connections that never complete the handshake; the paper
+  /// measures 72.5% on the campus trace (Figure 10).
+  double incomplete_fraction = 0.725;
+
+  /// Fraction of complete connections from the wireless subnet (the paper
+  /// collects 11.12M wireless vs 1.66M wired internal samples, Figure 6).
+  double wireless_fraction = 0.85;
+
+  Ipv4Prefix wired_subnet{Ipv4Addr{10, 8, 0, 0}, 16};
+  Ipv4Prefix wireless_subnet{Ipv4Addr{10, 9, 0, 0}, 16};
+
+  // Internal-leg RTT: lognormal per-flow base (ns median) with per-packet
+  // jitter. Defaults reproduce Figure 6's contrast: >80% of wired internal
+  // RTTs under 1 ms; wireless much larger with >20% above 20 ms.
+  double wired_internal_median_ms = 0.35;
+  double wired_internal_sigma = 0.7;
+  double wireless_internal_median_ms = 5.0;
+  double wireless_internal_sigma = 1.55;
+
+  // External-leg RTT: lognormal per-flow base; defaults give a median
+  // external RTT near the paper's ~13 ms with a 95th percentile in the tens
+  // of ms (Figure 9b).
+  double external_median_ms = 12.0;
+  double external_sigma = 0.6;
+  double per_packet_jitter_sigma = 0.08;
+
+  // Flow sizes in segments (Pareto; heavy tail capped for bounded runtime).
+  // Defaults target the paper's trace shape: ~98 packets per connection on
+  // average across the 27.5% of connections that complete.
+  double flow_segments_xm = 6.0;
+  double flow_segments_alpha = 1.15;
+  std::uint32_t flow_segments_cap = 2000;
+  double upload_fraction_mean = 0.45;  ///< share of a flow's bytes going up.
+
+  double loss_rate = 0.006;     ///< per packet per side of the monitor
+  double reorder_prob = 0.006;  ///< upstream-of-monitor extra delay
+  double ack_spike_prob = 0.0015;  ///< stalled-ACK long tail (Figure 9c)
+
+  double abort_fraction = 0.06;  ///< complete flows that end without FIN
+  double wraparound_fraction = 0.003;  ///< flows with ISN close to 2^32
+};
+
+trace::Trace build_campus(const CampusConfig& config);
+
+struct SynFloodConfig {
+  std::uint64_t seed = 7;
+  std::uint32_t syn_count = 50000;
+  Timestamp duration = sec(10);
+  Ipv4Addr victim{198, 51, 100, 10};
+  std::uint16_t victim_port = 443;
+};
+
+trace::Trace build_syn_flood(const SynFloodConfig& config);
+
+struct InterceptionConfig {
+  std::uint64_t seed = 11;
+  Timestamp duration = sec(90);
+  Timestamp attack_time = sec(36);  ///< the paper's attack lands at t~36 s
+  double pre_attack_rtt_ms = 25.0;  ///< Figure 8: ~25 ms before
+  double post_attack_rtt_ms = 120.0;  ///< ~120 ms after interception
+  double jitter_sigma = 0.10;
+  std::uint32_t background_flows = 0;  ///< optional campus-like noise
+};
+
+trace::Trace build_interception(const InterceptionConfig& config);
+
+/// The Section 7 vulnerability: an attacker completes handshakes and then
+/// streams data that is never acknowledged. Because Dart favours old
+/// entries, the per-flow ranges stay "valid" forever and the PT fills with
+/// records that will never match — unless the RT idle timeout is enabled.
+/// Packets are synthesized directly (a real TCP sender would retransmit
+/// and collapse its own range; the attacker deliberately does not).
+struct StrandedAttackConfig {
+  std::uint64_t seed = 19;
+  std::uint32_t flows = 2000;
+  std::uint32_t packets_per_flow = 40;
+  Timestamp duration = sec(30);
+  std::uint16_t mss = 1460;
+  Ipv4Prefix source_subnet{Ipv4Addr{10, 9, 0, 0}, 16};
+};
+
+trace::Trace build_stranded_attack(const StrandedAttackConfig& config);
+
+struct BufferbloatConfig {
+  std::uint64_t seed = 13;
+  Timestamp duration = sec(120);
+  double base_rtt_ms = 40.0;
+  double bloat_amplitude_ms = 160.0;
+  Timestamp bloat_period = sec(25);
+};
+
+trace::Trace build_bufferbloat(const BufferbloatConfig& config);
+
+/// The interception attack's monitored connection 4-tuple (client->server),
+/// so detectors can filter for it when background flows are present.
+FourTuple interception_tuple();
+
+}  // namespace dart::gen

@@ -1,0 +1,49 @@
+#include "quic/spin_bit.hpp"
+
+namespace dart::quic {
+
+SpinBitMonitor::SpinBitMonitor(core::SampleCallback on_sample)
+    : on_sample_(std::move(on_sample)) {}
+
+void SpinBitMonitor::process(const PacketRecord& packet) {
+  ++stats_.packets_processed;
+  if (!is_quic(packet) || !packet.outbound) return;
+  ++stats_.quic_packets;
+
+  auto [it, inserted] = flows_.try_emplace(packet.tuple);
+  FlowState& flow = it->second;
+  if (inserted) ++stats_.flows;
+
+  const bool spin = spin_value(packet);
+  if (!flow.seen) {
+    flow.seen = true;
+    flow.last_spin = spin;
+    return;
+  }
+  if (spin == flow.last_spin) return;
+
+  // A spin transition: the square wave flipped. The interval between
+  // consecutive transitions is one end-to-end RTT.
+  flow.last_spin = spin;
+  ++stats_.edges;
+  if (flow.have_edge) {
+    ++stats_.samples;
+    if (on_sample_) {
+      core::RttSample sample;
+      sample.tuple = packet.tuple;
+      sample.eack = 0;  // QUIC exposes no sequence numbers
+      sample.seq_ts = flow.last_edge_ts;
+      sample.ack_ts = packet.ts;
+      sample.leg = core::LegMode::kBoth;  // end-to-end, not per leg
+      on_sample_(sample);
+    }
+  }
+  flow.have_edge = true;
+  flow.last_edge_ts = packet.ts;
+}
+
+void SpinBitMonitor::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+}  // namespace dart::quic

@@ -1,0 +1,72 @@
+// QUIC spin-bit RTT observation (Section 7, "Extending Dart to QUIC").
+//
+// QUIC encrypts sequence/ack numbers, so Dart's SEQ/ACK matching cannot
+// work. The spin bit is QUIC's explicit concession to passive measurement:
+// the client sets the bit to the complement of the last value it saw from
+// the server, and the server reflects the last value it saw from the
+// client. At any on-path observer, the client-to-server bit stream forms a
+// square wave whose period is one end-to-end RTT.
+//
+// The paper's critique, which this module lets us quantify against Dart:
+//   * at most ONE RTT sample per round trip (vs per-packet for Dart);
+//   * no way to detect reordering/retransmission, so a reordered packet
+//     with a stale spin value silently corrupts an edge measurement.
+//
+// Packets are carried in the ordinary PacketRecord; QUIC-ness and the spin
+// value are flagged in two reserved bits (TCP and QUIC packets never mix
+// within a flow).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "common/packet.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::quic {
+
+/// Reserved PacketRecord flag bits for QUIC packets.
+inline constexpr std::uint8_t kQuicFlag = 0x40;
+inline constexpr std::uint8_t kSpinFlag = 0x80;
+
+constexpr bool is_quic(const PacketRecord& packet) {
+  return (packet.flags & kQuicFlag) != 0;
+}
+constexpr bool spin_value(const PacketRecord& packet) {
+  return (packet.flags & kSpinFlag) != 0;
+}
+
+struct SpinStats {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t quic_packets = 0;
+  std::uint64_t edges = 0;    ///< observed spin transitions
+  std::uint64_t samples = 0;  ///< emitted RTT samples (edges after warmup)
+  std::uint64_t flows = 0;
+};
+
+/// Passive spin-bit observer: watches the outbound (client-to-server)
+/// direction and emits one sample per spin transition.
+class SpinBitMonitor {
+ public:
+  explicit SpinBitMonitor(core::SampleCallback on_sample = {});
+
+  void process(const PacketRecord& packet);
+  void process_all(std::span<const PacketRecord> packets);
+
+  const SpinStats& stats() const { return stats_; }
+
+ private:
+  struct FlowState {
+    bool seen = false;
+    bool last_spin = false;
+    Timestamp last_edge_ts = 0;
+    bool have_edge = false;  ///< a first edge exists: next edge is a sample
+  };
+
+  core::SampleCallback on_sample_;
+  SpinStats stats_;
+  std::unordered_map<FourTuple, FlowState, FourTupleHash> flows_;
+};
+
+}  // namespace dart::quic

@@ -1,0 +1,152 @@
+#include "quic/spin_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <vector>
+
+#include "quic/spin_bit.hpp"
+
+namespace dart::quic {
+namespace {
+
+enum class EventKind : std::uint8_t { kSend, kCross, kArrive };
+
+struct Event {
+  Timestamp t = 0;
+  std::uint64_t order = 0;
+  EventKind kind = EventKind::kSend;
+  bool from_client = false;
+  bool spin = false;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.order > b.order;
+  }
+};
+
+class SpinSim {
+ public:
+  explicit SpinSim(const SpinFlowProfile& profile)
+      : p_(profile), rng_(mix64(profile.seed ^ hash_tuple(profile.tuple))) {}
+
+  trace::Trace run() {
+    schedule_send(p_.start, /*from_client=*/true);
+    schedule_send(p_.start + p_.send_interval / 2, /*from_client=*/false);
+
+    while (!queue_.empty()) {
+      const Event event = queue_.top();
+      queue_.pop();
+      switch (event.kind) {
+        case EventKind::kSend:
+          on_send(event);
+          break;
+        case EventKind::kCross:
+          on_cross(event);
+          break;
+        case EventKind::kArrive:
+          // Spin update rules: the client inverts what it hears, the
+          // server reflects it.
+          if (event.from_client) {
+            server_spin_ = event.spin;
+          } else {
+            client_spin_ = !event.spin;
+          }
+          break;
+      }
+    }
+    trace_.sort_by_time();
+    return std::move(trace_);
+  }
+
+ private:
+  void push(Timestamp t, Event event) {
+    event.t = t;
+    event.order = next_order_++;
+    queue_.push(std::move(event));
+  }
+
+  void schedule_send(Timestamp t, bool from_client) {
+    Event event;
+    event.kind = EventKind::kSend;
+    event.from_client = from_client;
+    push(t, std::move(event));
+  }
+
+  void on_send(const Event& event) {
+    const bool spin = event.from_client ? client_spin_ : server_spin_;
+    transmit(event.from_client, spin, event.t);
+    const Timestamp next = event.t + p_.send_interval;
+    if (next < p_.start + p_.duration) schedule_send(next, event.from_client);
+  }
+
+  void transmit(bool from_client, bool spin, Timestamp t) {
+    if (p_.loss > 0.0 && rng_.bernoulli(p_.loss)) return;
+
+    const gen::RttModel& sender_leg =
+        from_client ? *p_.internal : *p_.external;
+    const gen::RttModel& receiver_leg =
+        from_client ? *p_.external : *p_.internal;
+    Timestamp cross_t = t + sender_leg.sample(t, rng_) / 2;
+    Timestamp arrive_t = cross_t + receiver_leg.sample(t, rng_) / 2;
+
+    const bool reordered =
+        p_.reorder_prob > 0.0 && rng_.bernoulli(p_.reorder_prob);
+    const int dir = from_client ? 0 : 1;
+    if (reordered) {
+      const Timestamp extra = p_.reorder_extra;
+      cross_t += extra;
+      arrive_t += extra;
+    } else {
+      cross_t = std::max(cross_t, last_cross_[dir] + 1);
+      arrive_t = std::max(arrive_t, last_arrive_[dir] + 1);
+      last_cross_[dir] = cross_t;
+      last_arrive_[dir] = arrive_t;
+    }
+
+    Event cross;
+    cross.kind = EventKind::kCross;
+    cross.from_client = from_client;
+    cross.spin = spin;
+    push(cross_t, std::move(cross));
+
+    Event arrive;
+    arrive.kind = EventKind::kArrive;
+    arrive.from_client = from_client;
+    arrive.spin = spin;
+    push(arrive_t, std::move(arrive));
+  }
+
+  void on_cross(const Event& event) {
+    PacketRecord packet;
+    packet.ts = event.t;
+    packet.tuple = event.from_client ? p_.tuple : p_.tuple.reversed();
+    packet.payload = 1200;  // typical QUIC datagram
+    packet.flags = kQuicFlag;
+    if (event.spin) packet.flags |= kSpinFlag;
+    packet.outbound = event.from_client;
+    trace_.add(packet);
+  }
+
+  const SpinFlowProfile& p_;
+  Rng rng_;
+  trace::Trace trace_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_order_ = 0;
+  bool client_spin_ = true;  // first flip after the first server echo
+  bool server_spin_ = false;
+  Timestamp last_cross_[2] = {0, 0};
+  Timestamp last_arrive_[2] = {0, 0};
+};
+
+}  // namespace
+
+trace::Trace simulate_spin_flow(const SpinFlowProfile& profile) {
+  assert(profile.internal && profile.external &&
+         "SpinFlowProfile requires RTT models for both legs");
+  return SpinSim(profile).run();
+}
+
+}  // namespace dart::quic

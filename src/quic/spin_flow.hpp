@@ -1,0 +1,38 @@
+// Generator for QUIC-like flows carrying the latency spin bit (Section 7).
+//
+// Both endpoints transmit packets at a fixed interval (QUIC sends
+// ack-eliciting traffic continuously on an active connection); each follows
+// the spin-bit rules: the client sets its bit to the complement of the last
+// bit it received from the server, the server reflects the last bit it
+// received from the client. The resulting client-to-server stream observed
+// at the monitor is a square wave with one transition per end-to-end RTT.
+#pragma once
+
+#include "common/four_tuple.hpp"
+#include "gen/rtt_model.hpp"
+#include "trace/trace.hpp"
+
+namespace dart::quic {
+
+struct SpinFlowProfile {
+  FourTuple tuple{};  ///< client -> server; such packets are outbound.
+  Timestamp start = 0;
+  Timestamp duration = sec(10);
+  Timestamp send_interval = msec(2);  ///< per-endpoint packet spacing
+
+  gen::RttModelPtr internal;  ///< client <-> monitor
+  gen::RttModelPtr external;  ///< monitor <-> server
+
+  double loss = 0.0;          ///< per packet, anywhere on the path
+  double reorder_prob = 0.0;  ///< upstream-of-monitor extra delay
+  Timestamp reorder_extra = msec(3);
+
+  std::uint64_t seed = 1;
+};
+
+/// Simulate one spinning connection; returns the monitor-observed packet
+/// stream (flags carry kQuicFlag and kSpinFlag; no ground-truth samples —
+/// QUIC exposes no sequence numbers to match).
+trace::Trace simulate_spin_flow(const SpinFlowProfile& profile);
+
+}  // namespace dart::quic

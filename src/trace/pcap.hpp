@@ -1,0 +1,22 @@
+// Export traces as nanosecond-resolution pcap files.
+//
+// The paper's testbed replays captures with tcpreplay and inspects reports
+// with tcpdump (Section 5); this writer closes the loop for the synthetic
+// workloads: any generated trace can be opened in Wireshark/tcpdump.
+// Frames are synthesized Ethernet+IPv4+TCP with correct lengths, sequence
+// and acknowledgment numbers and flags; payload bytes are elided (snap
+// length = headers), which standard tools report as truncated captures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dart::trace {
+
+/// Nanosecond pcap (magic 0xA1B23C4D), linktype Ethernet.
+bool write_pcap(const Trace& trace, std::ostream& out);
+bool write_pcap_file(const Trace& trace, const std::string& path);
+
+}  // namespace dart::trace

@@ -1,0 +1,72 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dart::trace {
+
+void Trace::sort_by_time() {
+  std::stable_sort(
+      packets_.begin(), packets_.end(),
+      [](const PacketRecord& a, const PacketRecord& b) { return a.ts < b.ts; });
+  std::stable_sort(truth_.begin(), truth_.end(),
+                   [](const TruthSample& a, const TruthSample& b) {
+                     return a.seq_ts < b.seq_ts;
+                   });
+}
+
+bool Trace::is_time_ordered() const {
+  for (std::size_t i = 1; i < packets_.size(); ++i) {
+    if (packets_[i].ts < packets_[i - 1].ts) return false;
+  }
+  return true;
+}
+
+void Trace::append(const Trace& other) {
+  packets_.insert(packets_.end(), other.packets_.begin(),
+                  other.packets_.end());
+  truth_.insert(truth_.end(), other.truth_.begin(), other.truth_.end());
+}
+
+Trace merge(std::vector<Trace> traces) {
+  // Heap of (next packet index, trace index) ordered by timestamp; each
+  // input is assumed time-ordered (generator output always is).
+  struct Cursor {
+    std::size_t trace;
+    std::size_t index;
+  };
+  auto later = [&traces](const Cursor& a, const Cursor& b) {
+    return traces[a.trace].packets()[a.index].ts >
+           traces[b.trace].packets()[b.index].ts;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(
+      later);
+
+  Trace out;
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    total += traces[t].size();
+    if (!traces[t].empty()) heap.push(Cursor{t, 0});
+  }
+  out.packets().reserve(total);
+
+  while (!heap.empty()) {
+    Cursor cursor = heap.top();
+    heap.pop();
+    out.add(traces[cursor.trace].packets()[cursor.index]);
+    if (cursor.index + 1 < traces[cursor.trace].size()) {
+      heap.push(Cursor{cursor.trace, cursor.index + 1});
+    }
+  }
+
+  for (const Trace& t : traces) {
+    out.truth().insert(out.truth().end(), t.truth().begin(), t.truth().end());
+  }
+  std::stable_sort(out.truth().begin(), out.truth().end(),
+                   [](const TruthSample& a, const TruthSample& b) {
+                     return a.seq_ts < b.seq_ts;
+                   });
+  return out;
+}
+
+}  // namespace dart::trace

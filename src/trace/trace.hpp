@@ -1,0 +1,68 @@
+// Packet traces: the input to every monitor in this repository.
+//
+// A Trace is a time-ordered sequence of PacketRecords observed at a single
+// monitoring vantage point, standing in for the paper's anonymized campus
+// captures. Alongside the packets, a trace may carry the generator's ground
+// truth — the set of (flow, eACK, RTT) samples a perfect monitor with
+// unlimited memory would collect — used to validate monitor accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/packet.hpp"
+
+namespace dart::trace {
+
+/// A ground-truth RTT sample recorded by the workload generator: data packet
+/// with expected ACK `eack` on flow `tuple` crossed the monitor at `seq_ts`
+/// and its acknowledgment crossed back at `ack_ts`.
+struct TruthSample {
+  FourTuple tuple{};  ///< Data (SEQ) direction tuple.
+  SeqNum eack = 0;
+  Timestamp seq_ts = 0;
+  Timestamp ack_ts = 0;
+
+  constexpr Timestamp rtt() const { return ack_ts - seq_ts; }
+
+  friend constexpr bool operator==(const TruthSample&, const TruthSample&) =
+      default;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<PacketRecord> packets)
+      : packets_(std::move(packets)) {}
+
+  const std::vector<PacketRecord>& packets() const { return packets_; }
+  std::vector<PacketRecord>& packets() { return packets_; }
+
+  const std::vector<TruthSample>& truth() const { return truth_; }
+  std::vector<TruthSample>& truth() { return truth_; }
+
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+
+  void add(PacketRecord packet) { packets_.push_back(packet); }
+  void add_truth(TruthSample sample) { truth_.push_back(sample); }
+
+  /// Stable-sort packets by timestamp (generators emit per-flow streams that
+  /// must be interleaved). Ground truth is sorted by SEQ timestamp.
+  void sort_by_time();
+
+  /// True if packets are non-decreasing in timestamp.
+  bool is_time_ordered() const;
+
+  /// Append another trace's packets and truth (does not re-sort).
+  void append(const Trace& other);
+
+ private:
+  std::vector<PacketRecord> packets_;
+  std::vector<TruthSample> truth_;
+};
+
+/// Merge traces into one time-ordered trace (k-way by timestamp).
+Trace merge(std::vector<Trace> traces);
+
+}  // namespace dart::trace

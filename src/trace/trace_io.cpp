@@ -1,0 +1,148 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace dart::trace {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'D', 'T', 'R', 'C'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  // Serialize little-endian regardless of host order.
+  std::array<char, sizeof(T)> bytes;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((static_cast<std::uint64_t>(value) >>
+                                  (8 * i)) & 0xFF);
+  }
+  out.write(bytes.data(), bytes.size());
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  std::array<char, sizeof(T)> bytes;
+  if (!in.read(bytes.data(), bytes.size())) return false;
+  std::uint64_t accum = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    accum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i]))
+             << (8 * i);
+  }
+  value = static_cast<T>(accum);
+  return true;
+}
+
+void put_tuple(std::ostream& out, const FourTuple& tuple) {
+  put<std::uint32_t>(out, tuple.src_ip.value());
+  put<std::uint32_t>(out, tuple.dst_ip.value());
+  put<std::uint16_t>(out, tuple.src_port);
+  put<std::uint16_t>(out, tuple.dst_port);
+}
+
+bool get_tuple(std::istream& in, FourTuple& tuple) {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  if (!get(in, src) || !get(in, dst) || !get(in, tuple.src_port) ||
+      !get(in, tuple.dst_port)) {
+    return false;
+  }
+  tuple.src_ip = Ipv4Addr{src};
+  tuple.dst_ip = Ipv4Addr{dst};
+  return true;
+}
+
+}  // namespace
+
+bool write_binary(const Trace& trace, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  put<std::uint32_t>(out, kTraceFormatVersion);
+  put<std::uint64_t>(out, trace.packets().size());
+  put<std::uint64_t>(out, trace.truth().size());
+  for (const PacketRecord& p : trace.packets()) {
+    put<std::uint64_t>(out, p.ts);
+    put_tuple(out, p.tuple);
+    put<std::uint32_t>(out, p.seq);
+    put<std::uint32_t>(out, p.ack);
+    put<std::uint16_t>(out, p.payload);
+    put<std::uint8_t>(out, p.flags);
+    put<std::uint8_t>(out, p.outbound ? 1 : 0);
+  }
+  for (const TruthSample& s : trace.truth()) {
+    put_tuple(out, s.tuple);
+    put<std::uint32_t>(out, s.eack);
+    put<std::uint64_t>(out, s.seq_ts);
+    put<std::uint64_t>(out, s.ack_ts);
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_binary_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out && write_binary(trace, out);
+}
+
+std::optional<Trace> read_binary(std::istream& in) {
+  std::array<char, 4> magic;
+  if (!in.read(magic.data(), magic.size()) || magic != kMagic) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t truth_count = 0;
+  if (!get(in, version) || version != kTraceFormatVersion ||
+      !get(in, packet_count) || !get(in, truth_count)) {
+    return std::nullopt;
+  }
+
+  Trace trace;
+  trace.packets().reserve(packet_count);
+  for (std::uint64_t i = 0; i < packet_count; ++i) {
+    PacketRecord p;
+    std::uint8_t outbound = 0;
+    if (!get(in, p.ts) || !get_tuple(in, p.tuple) || !get(in, p.seq) ||
+        !get(in, p.ack) || !get(in, p.payload) || !get(in, p.flags) ||
+        !get(in, outbound)) {
+      return std::nullopt;
+    }
+    p.outbound = outbound != 0;
+    trace.add(p);
+  }
+  trace.truth().reserve(truth_count);
+  for (std::uint64_t i = 0; i < truth_count; ++i) {
+    TruthSample s;
+    if (!get_tuple(in, s.tuple) || !get(in, s.eack) || !get(in, s.seq_ts) ||
+        !get(in, s.ack_ts)) {
+      return std::nullopt;
+    }
+    trace.add_truth(s);
+  }
+  return trace;
+}
+
+std::optional<Trace> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_binary(in);
+}
+
+bool write_csv(const Trace& trace, std::ostream& out) {
+  out << "ts_ns,src_ip,src_port,dst_ip,dst_port,seq,ack,payload,flags,"
+         "outbound\n";
+  for (const PacketRecord& p : trace.packets()) {
+    out << p.ts << ',' << p.tuple.src_ip.to_string() << ',' << p.tuple.src_port
+        << ',' << p.tuple.dst_ip.to_string() << ',' << p.tuple.dst_port << ','
+        << p.seq << ',' << p.ack << ',' << p.payload << ','
+        << static_cast<unsigned>(p.flags) << ',' << (p.outbound ? 1 : 0)
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  return out && write_csv(trace, out);
+}
+
+}  // namespace dart::trace

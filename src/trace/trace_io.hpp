@@ -1,0 +1,36 @@
+// Binary (.dtrc) and CSV serialization for traces.
+//
+// The binary format is a fixed little-endian layout so regenerated workloads
+// can be cached on disk between benchmark runs:
+//
+//   header:  magic "DTRC" | u32 version | u64 packet count | u64 truth count
+//   packets: u64 ts | u32 src_ip | u32 dst_ip | u16 sport | u16 dport |
+//            u32 seq | u32 ack | u16 payload | u8 flags | u8 outbound
+//   truth:   u32 src_ip | u32 dst_ip | u16 sport | u16 dport | u32 eack |
+//            u64 seq_ts | u64 ack_ts
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dart::trace {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// Serialize to a stream; returns false on I/O error.
+bool write_binary(const Trace& trace, std::ostream& out);
+bool write_binary_file(const Trace& trace, const std::string& path);
+
+/// Deserialize; returns nullopt on bad magic, version, or truncated input.
+std::optional<Trace> read_binary(std::istream& in);
+std::optional<Trace> read_binary_file(const std::string& path);
+
+/// Human-readable packet CSV (header row included); for debugging and for
+/// feeding external plotting scripts.
+bool write_csv(const Trace& trace, std::ostream& out);
+bool write_csv_file(const Trace& trace, const std::string& path);
+
+}  // namespace dart::trace

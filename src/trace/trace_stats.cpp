@@ -1,0 +1,62 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_map>
+
+namespace dart::trace {
+namespace {
+
+// Handshake progress per connection, keyed by canonical tuple.
+struct HandshakeState {
+  bool saw_syn = false;
+  bool saw_syn_ack = false;
+  bool complete = false;
+};
+
+}  // namespace
+
+double TraceStats::packets_per_second() const {
+  const Timestamp d = duration();
+  if (d == 0) return 0.0;
+  return static_cast<double>(packets) /
+         (static_cast<double>(d) / static_cast<double>(kNsPerSec));
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  std::unordered_map<FourTuple, HandshakeState, FourTupleHash> handshakes;
+
+  bool first = true;
+  for (const PacketRecord& p : trace.packets()) {
+    ++stats.packets;
+    if (p.carries_data()) {
+      ++stats.data_packets;
+    } else if (p.is_ack()) {
+      ++stats.pure_acks;
+    }
+    if (p.is_syn()) ++stats.syn_packets;
+
+    if (first) {
+      stats.first_ts = p.ts;
+      first = false;
+    }
+    stats.last_ts = p.ts;
+
+    HandshakeState& hs = handshakes[p.tuple.canonical()];
+    if (p.is_syn() && !p.is_ack()) {
+      hs.saw_syn = true;
+    } else if (p.is_syn() && p.is_ack()) {
+      hs.saw_syn_ack = true;
+    } else if (hs.saw_syn && hs.saw_syn_ack) {
+      // Any non-SYN segment after both handshake halves completes it.
+      hs.complete = true;
+    }
+  }
+
+  stats.connections = handshakes.size();
+  for (const auto& [tuple, hs] : handshakes) {
+    if (hs.complete) ++stats.complete_handshakes;
+  }
+  return stats;
+}
+
+}  // namespace dart::trace

@@ -1,0 +1,37 @@
+// Trace summary statistics.
+//
+// Mirrors the trace characterization the paper reports for its campus
+// capture (Section 6: 1.38M TCP connections, 135.78M packets, 15 minutes;
+// Figure 10: 72.5% of connections never complete the handshake) so bench
+// harnesses can print the same summary rows for the synthetic workload.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace dart::trace {
+
+struct TraceStats {
+  std::uint64_t packets = 0;
+  std::uint64_t data_packets = 0;  ///< seq_span() > 0 (includes SYN/FIN).
+  std::uint64_t pure_acks = 0;
+  std::uint64_t syn_packets = 0;  ///< SYN or SYN-ACK.
+  std::uint64_t connections = 0;  ///< Distinct canonical 4-tuples.
+  std::uint64_t complete_handshakes = 0;  ///< SYN, SYN-ACK and a third
+                                          ///< segment from the initiator.
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+
+  constexpr Timestamp duration() const {
+    return last_ts >= first_ts ? last_ts - first_ts : 0;
+  }
+  constexpr std::uint64_t incomplete_handshakes() const {
+    return connections - complete_handshakes;
+  }
+  double packets_per_second() const;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace dart::trace

@@ -1,0 +1,111 @@
+// Edge-case coverage for the analytics utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/histogram.hpp"
+#include "analytics/percentile.hpp"
+#include "analytics/prefix_agg.hpp"
+#include "common/random.hpp"
+
+namespace dart::analytics {
+namespace {
+
+TEST(LogHistogramEdges, BinValuesGrowGeometrically) {
+  const LogHistogram hist(msec(1), sec(1), 10);
+  double previous = 0.0;
+  for (std::size_t i = 0; i < hist.bins().size(); ++i) {
+    const double value = hist.bin_value(i);
+    EXPECT_GT(value, previous);
+    if (i > 0) {
+      // 10 bins per decade: each bin's midpoint is 10^(1/10) ~ 1.259x the
+      // previous.
+      EXPECT_NEAR(value / previous, 1.2589, 0.001);
+    }
+    previous = value;
+  }
+}
+
+TEST(LogHistogramEdges, QuantileIsMonotone) {
+  LogHistogram hist;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    hist.add(from_ms(rng.lognormal(std::log(15.0), 0.8)));
+  }
+  double previous = 0.0;
+  for (double q = 0.05; q <= 0.99; q += 0.05) {
+    const double value = hist.quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(LogHistogramEdges, QuantileTracksExactPercentiles) {
+  LogHistogram hist(usec(10), sec(10), 40);
+  PercentileSet exact;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const Timestamp v = from_ms(rng.lognormal(std::log(12.0), 0.6));
+    hist.add(v);
+    exact.add(v);
+  }
+  // 40 bins/decade = ~6% relative resolution.
+  for (double p : {25.0, 50.0, 75.0, 95.0}) {
+    EXPECT_NEAR(hist.quantile(p / 100.0), exact.percentile(p),
+                exact.percentile(p) * 0.07)
+        << "p=" << p;
+  }
+}
+
+TEST(LogHistogramEdges, MergeWithEmptyIsIdentity) {
+  LogHistogram a;
+  a.add(msec(10));
+  const std::uint64_t before = a.count();
+  a.merge(LogHistogram{});
+  EXPECT_EQ(a.count(), before);
+  LogHistogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), before);
+  EXPECT_EQ(b.min(), msec(10));
+}
+
+TEST(PercentileSetEdges, MeanOfEmptyIsZero) {
+  const PercentileSet set;
+  EXPECT_DOUBLE_EQ(set.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(set.cdf_at(msec(1)), 0.0);
+}
+
+TEST(PercentileSetEdges, SortedValuesAreSorted) {
+  PercentileSet set;
+  for (Timestamp v : {5U, 1U, 9U, 3U}) set.add(v);
+  const auto& sorted = set.sorted_values();
+  ASSERT_EQ(sorted.size(), 4U);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(PrefixAggregatorEdges, Slash32IsPerHost) {
+  PrefixAggregator agg(32);
+  core::RttSample s;
+  s.tuple = FourTuple{Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{23, 52, 9, 1}, 1, 2};
+  s.ack_ts = msec(1);
+  agg.add(s);
+  s.tuple.dst_ip = Ipv4Addr{23, 52, 9, 2};
+  agg.add(s);
+  EXPECT_EQ(agg.prefixes().size(), 2U);
+}
+
+TEST(PrefixAggregatorEdges, Slash0IsGlobal) {
+  PrefixAggregator agg(0);
+  core::RttSample s;
+  s.tuple = FourTuple{Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{23, 52, 9, 1}, 1, 2};
+  s.ack_ts = msec(1);
+  agg.add(s);
+  s.tuple.dst_ip = Ipv4Addr{151, 101, 1, 1};
+  agg.add(s);
+  EXPECT_EQ(agg.prefixes().size(), 1U);
+  EXPECT_EQ(agg.prefixes().begin()->second.samples, 2U);
+}
+
+}  // namespace
+}  // namespace dart::analytics

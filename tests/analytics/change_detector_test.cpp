@@ -1,0 +1,107 @@
+// The interception detector of Section 5.2 / Figure 8.
+#include "analytics/change_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::analytics {
+namespace {
+
+ChangeDetectorConfig paper_config() {
+  ChangeDetectorConfig config;
+  config.window_size = 8;
+  config.rise_factor = 2.0;
+  config.min_abs_rise = msec(10);
+  return config;
+}
+
+// Feed `windows` full windows of samples around base +/- jitter.
+void feed_windows(ChangeDetector& detector, int windows, Timestamp base,
+                  Timestamp start_ts) {
+  for (int w = 0; w < windows; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      const Timestamp jitter = msec((i * 7) % 5);
+      detector.add(base + jitter, start_ts + sec(w) + msec(i * 100));
+    }
+  }
+}
+
+TEST(ChangeDetector, QuietTrafficStaysNormal) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 10, msec(25), 0);
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+  EXPECT_TRUE(detector.events().empty());
+}
+
+TEST(ChangeDetector, SuspectsThenConfirmsSustainedRise) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+  // Attack: RTT jumps to ~120 ms and stays there.
+  feed_windows(detector, 2, msec(120), sec(100));
+  EXPECT_EQ(detector.state(), DetectionState::kConfirmed);
+  ASSERT_EQ(detector.events().size(), 2U);
+  EXPECT_EQ(detector.events()[0].state, DetectionState::kSuspected);
+  EXPECT_EQ(detector.events()[1].state, DetectionState::kConfirmed);
+  EXPECT_EQ(detector.events()[0].baseline_min, msec(25));
+  EXPECT_GE(detector.events()[0].elevated_min, msec(120));
+}
+
+TEST(ChangeDetector, ConfirmationArrivesOneWindowAfterSuspicion) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  feed_windows(detector, 2, msec(120), sec(100));
+  ASSERT_EQ(detector.events().size(), 2U);
+  EXPECT_EQ(detector.events()[1].window_index,
+            detector.events()[0].window_index + 1);
+  // Figure 8: suspicion + confirmation within ~2 windows of samples (the
+  // paper counts 63 packets end to end).
+  EXPECT_LE(detector.events()[1].samples_seen -
+                detector.events()[0].samples_seen,
+            8U);
+}
+
+TEST(ChangeDetector, TransientSpikeIsNotConfirmed) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  feed_windows(detector, 1, msec(120), sec(100));  // one outlier window
+  EXPECT_EQ(detector.state(), DetectionState::kSuspected);
+  feed_windows(detector, 3, msec(25), sec(200));  // back to normal
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+  // Only the suspicion event; never confirmed.
+  ASSERT_EQ(detector.events().size(), 1U);
+  EXPECT_EQ(detector.events()[0].state, DetectionState::kSuspected);
+}
+
+TEST(ChangeDetector, SmallRiseBelowThresholdsIgnored) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  feed_windows(detector, 4, msec(32), sec(100));  // +28%: below 2x factor
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+}
+
+TEST(ChangeDetector, AbsoluteFloorSuppressesTinyBaselines) {
+  // From 1 ms to 3 ms is 3x but only +2 ms: below min_abs_rise.
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(1), 0);
+  feed_windows(detector, 4, msec(3), sec(100));
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+}
+
+TEST(ChangeDetector, ConfirmationLatches) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  feed_windows(detector, 3, msec(120), sec(100));
+  EXPECT_EQ(detector.state(), DetectionState::kConfirmed);
+  feed_windows(detector, 3, msec(25), sec(200));
+  EXPECT_EQ(detector.state(), DetectionState::kConfirmed);
+  EXPECT_EQ(detector.events().size(), 2U);
+}
+
+TEST(ChangeDetector, WindowHistoryIsComplete) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 5, msec(25), 0);
+  EXPECT_EQ(detector.window_history().size(), 5U);
+}
+
+}  // namespace
+}  // namespace dart::analytics

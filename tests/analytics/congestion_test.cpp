@@ -1,0 +1,155 @@
+// Collapse-rate congestion inference (Section 3.1).
+#include "analytics/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dart_monitor.hpp"
+#include "gen/workload.hpp"
+
+namespace dart::analytics {
+namespace {
+
+core::CollapseEvent at(Timestamp ts, Ipv4Addr dst = Ipv4Addr{23, 52, 9, 1}) {
+  core::CollapseEvent event;
+  event.tuple = FourTuple{Ipv4Addr{10, 8, 0, 1}, dst, 40000, 443};
+  event.ts = ts;
+  return event;
+}
+
+CongestionConfig fast_config() {
+  CongestionConfig config;
+  config.window = sec(1);
+  config.rise_factor = 3.0;
+  config.baseline_windows = 3;
+  config.min_collapses = 5;
+  return config;
+}
+
+TEST(CongestionEstimator, CountsPerWindow) {
+  CongestionEstimator estimator(fast_config());
+  estimator.record(at(msec(100)));
+  estimator.record(at(msec(900)));
+  estimator.record(at(sec(1) + msec(100)));  // closes window 0
+  ASSERT_EQ(estimator.window_counts().size(), 1U);
+  EXPECT_EQ(estimator.window_counts()[0], 2U);
+  EXPECT_EQ(estimator.total_collapses(), 3U);
+}
+
+TEST(CongestionEstimator, QuietWindowsCountAsZero) {
+  CongestionEstimator estimator(fast_config());
+  estimator.record(at(msec(100)));
+  estimator.record(at(sec(5)));
+  ASSERT_EQ(estimator.window_counts().size(), 5U);
+  EXPECT_EQ(estimator.window_counts()[0], 1U);
+  EXPECT_EQ(estimator.window_counts()[1], 0U);
+}
+
+TEST(CongestionEstimator, SteadyRateRaisesNoAlarm) {
+  CongestionEstimator estimator(fast_config());
+  for (int w = 0; w < 20; ++w) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_FALSE(
+          estimator.record(at(sec(w) + msec(100 * (i + 1)))).has_value());
+    }
+  }
+}
+
+TEST(CongestionEstimator, AbruptRiseRaisesAlarm) {
+  CongestionEstimator estimator(fast_config());
+  // Baseline: 2 collapses per window for 5 windows.
+  for (int w = 0; w < 5; ++w) {
+    estimator.record(at(sec(w) + msec(100)));
+    estimator.record(at(sec(w) + msec(700)));
+  }
+  // Congestion onset: 30 collapses in window 5.
+  std::optional<CongestionAlarm> alarm;
+  for (int i = 0; i < 30; ++i) {
+    auto a = estimator.record(at(sec(5) + msec(10 * (i + 1))));
+    if (a) alarm = a;
+  }
+  // The alarm fires when window 5 closes.
+  auto closing = estimator.record(at(sec(6) + msec(50)));
+  ASSERT_TRUE(closing.has_value());
+  EXPECT_EQ(closing->collapses, 30U);
+  EXPECT_NEAR(closing->baseline_mean, 2.0, 0.01);
+}
+
+TEST(CongestionEstimator, SmallAbsoluteCountsAreIgnored) {
+  CongestionConfig config = fast_config();
+  config.min_collapses = 10;
+  CongestionEstimator estimator(config);
+  for (int w = 0; w < 5; ++w) estimator.record(at(sec(w)));
+  // 4 collapses is a 4x rise but below the absolute floor.
+  for (int i = 0; i < 4; ++i) estimator.record(at(sec(5) + msec(i + 1)));
+  EXPECT_FALSE(estimator.record(at(sec(6))).has_value());
+}
+
+TEST(PrefixCongestion, IsolatesTheCongestedSubnet) {
+  PrefixCongestion tracker(24, fast_config());
+  const Ipv4Addr healthy{104, 16, 2, 1};
+  const Ipv4Addr congested{23, 52, 9, 1};
+
+  // Both prefixes see light baseline collapses.
+  for (int w = 0; w < 5; ++w) {
+    tracker.record(at(sec(w) + msec(100), healthy));
+    tracker.record(at(sec(w) + msec(200), congested));
+  }
+  // Only one prefix melts down.
+  std::optional<PrefixCongestion::PrefixAlarm> alarm;
+  for (int i = 0; i < 40; ++i) {
+    auto a = tracker.record(at(sec(5) + msec(10 * (i + 1)), congested));
+    if (a) alarm = a;
+  }
+  auto closing = tracker.record(at(sec(6) + msec(10), congested));
+  ASSERT_TRUE(closing.has_value());
+  EXPECT_EQ(closing->prefix, (Ipv4Prefix{Ipv4Addr{23, 52, 9, 0}, 24}));
+}
+
+TEST(CongestionEndToEnd, LossOnsetDetectedFromDartCollapses) {
+  // Phase 1: healthy campus traffic; phase 2 (shifted in time): the same
+  // mix under 4% loss. The collapse-rate estimator must alarm in phase 2.
+  gen::CampusConfig calm;
+  calm.connections = 1500;
+  calm.duration = sec(10);
+  calm.loss_rate = 0.001;
+  calm.seed = 3;
+
+  gen::CampusConfig congested = calm;
+  congested.start_offset = sec(10);
+  congested.loss_rate = 0.04;
+  congested.seed = 4;
+
+  std::vector<trace::Trace> parts;
+  parts.push_back(gen::build_campus(calm));
+  parts.push_back(gen::build_campus(congested));
+  const trace::Trace trace = trace::merge(std::move(parts));
+
+  CongestionConfig config;
+  config.window = sec(1);
+  config.rise_factor = 2.5;
+  config.baseline_windows = 4;
+  config.min_collapses = 20;
+  CongestionEstimator estimator(config);
+
+  std::optional<CongestionAlarm> first_alarm;
+  Timestamp alarm_ts = 0;
+  core::DartConfig dart_config;
+  dart_config.rt_size = 1 << 16;
+  dart_config.pt_size = 1 << 14;
+  core::DartMonitor dart(dart_config);
+  dart.set_collapse_callback([&](const core::CollapseEvent& event) {
+    auto alarm = estimator.record(event);
+    if (alarm && !first_alarm) {
+      first_alarm = alarm;
+      alarm_ts = event.ts;
+    }
+  });
+  dart.process_all(trace.packets());
+
+  ASSERT_TRUE(first_alarm.has_value());
+  EXPECT_GT(alarm_ts, sec(10)) << "no false alarm during the calm phase";
+  EXPECT_LT(alarm_ts, sec(16)) << "detected within a few windows of onset";
+}
+
+}  // namespace
+}  // namespace dart::analytics

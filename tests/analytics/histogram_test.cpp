@@ -1,0 +1,67 @@
+#include "analytics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::analytics {
+namespace {
+
+TEST(LogHistogram, CountsAndExtremes) {
+  LogHistogram hist;
+  hist.add(msec(1));
+  hist.add(msec(10));
+  hist.add(msec(100));
+  EXPECT_EQ(hist.count(), 3U);
+  EXPECT_EQ(hist.min(), msec(1));
+  EXPECT_EQ(hist.max(), msec(100));
+}
+
+TEST(LogHistogram, QuantileWithinBinResolution) {
+  LogHistogram hist(usec(10), sec(10), 40);
+  for (int i = 0; i < 1000; ++i) hist.add(msec(20));
+  // All mass in one bin: every quantile lands near 20 ms (within the bin's
+  // geometric width, ~6% at 40 bins/decade).
+  EXPECT_NEAR(hist.quantile(0.5) / 1e6, 20.0, 2.0);
+  EXPECT_NEAR(hist.quantile(0.99) / 1e6, 20.0, 2.0);
+}
+
+TEST(LogHistogram, CdfIsMonotone) {
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.add(msec(i % 200 + 1));
+  double prev = 0.0;
+  for (Timestamp t = msec(1); t <= msec(300); t += msec(10)) {
+    const double c = hist.cdf_at(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(hist.cdf_at(sec(100)), 1.0);
+}
+
+TEST(LogHistogram, ClampsOutOfRangeValues) {
+  LogHistogram hist(msec(1), sec(1), 10);
+  hist.add(1);        // below range -> first bin
+  hist.add(sec(100)); // above range -> last bin
+  EXPECT_EQ(hist.count(), 2U);
+  EXPECT_GT(hist.quantile(0.99), hist.quantile(0.01));
+}
+
+TEST(LogHistogram, MergeCombinesMass) {
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 100; ++i) a.add(msec(5));
+  for (int i = 0; i < 100; ++i) b.add(msec(50));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200U);
+  EXPECT_EQ(a.min(), msec(5));
+  EXPECT_EQ(a.max(), msec(50));
+  EXPECT_NEAR(a.cdf_at(msec(20)), 0.5, 0.02);
+}
+
+TEST(LogHistogram, EmptyHistogramIsWellBehaved) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0U);
+  EXPECT_DOUBLE_EQ(hist.cdf_at(msec(10)), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace dart::analytics

@@ -1,0 +1,78 @@
+// The paper's Section 6.2 accuracy metric definitions.
+#include "analytics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::analytics {
+namespace {
+
+PercentileSet uniform(Timestamp lo, Timestamp hi, Timestamp step) {
+  PercentileSet set;
+  for (Timestamp v = lo; v <= hi; v += step) set.add(v);
+  return set;
+}
+
+TEST(Metrics, IdenticalDistributionsHaveZeroError) {
+  const PercentileSet base = uniform(msec(1), msec(100), msec(1));
+  const AccuracyReport report = compare(base, base);
+  EXPECT_DOUBLE_EQ(report.error_p50, 0.0);
+  EXPECT_DOUBLE_EQ(report.error_p95, 0.0);
+  EXPECT_DOUBLE_EQ(report.error_p99, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_error_5_95, 0.0);
+  EXPECT_DOUBLE_EQ(report.fraction_collected, 100.0);
+}
+
+TEST(Metrics, UnderestimationIsPositiveError) {
+  // Dart missing the large samples -> its percentiles sit lower -> the
+  // paper's error (baseline - dart)/baseline is positive.
+  const PercentileSet base = uniform(msec(1), msec(100), msec(1));
+  const PercentileSet dart = uniform(msec(1), msec(50), msec(1));
+  const AccuracyReport report = compare(base, dart);
+  EXPECT_GT(report.error_p95, 0.0);
+  EXPECT_GT(report.error_p50, 0.0);
+}
+
+TEST(Metrics, OverestimationIsNegativeError) {
+  // Dart missing the small samples -> negative error (Figure 12a).
+  const PercentileSet base = uniform(msec(1), msec(100), msec(1));
+  const PercentileSet dart = uniform(msec(50), msec(100), msec(1));
+  const AccuracyReport report = compare(base, dart);
+  EXPECT_LT(report.error_p50, 0.0);
+}
+
+TEST(Metrics, CollectionErrorAtSpecificPercentile) {
+  PercentileSet base;
+  PercentileSet dart;
+  for (int i = 1; i <= 100; ++i) {
+    base.add(static_cast<Timestamp>(i * 10));
+    dart.add(static_cast<Timestamp>(i * 5));  // exactly half everywhere
+  }
+  EXPECT_NEAR(collection_error(base, dart, 50), 50.0, 1e-9);
+  EXPECT_NEAR(collection_error(base, dart, 95), 50.0, 1e-9);
+}
+
+TEST(Metrics, MaxErrorScansWholeBand) {
+  // Distort only the low percentiles; p50/p95 stay aligned but the max
+  // error over [5, 95] must catch the low-band distortion.
+  PercentileSet base;
+  PercentileSet dart;
+  for (int i = 1; i <= 1000; ++i) {
+    base.add(static_cast<Timestamp>(i));
+    // First decile shifted down 40%; the rest identical.
+    dart.add(static_cast<Timestamp>(i <= 100 ? i * 6 / 10 : i));
+  }
+  const AccuracyReport report = compare(base, dart);
+  EXPECT_LT(std::abs(report.error_p50), 2.0);
+  EXPECT_GT(std::abs(report.max_error_5_95), 20.0);
+}
+
+TEST(Metrics, FractionCollected) {
+  PercentileSet base;
+  PercentileSet dart;
+  for (int i = 0; i < 200; ++i) base.add(1);
+  for (int i = 0; i < 150; ++i) dart.add(1);
+  EXPECT_DOUBLE_EQ(compare(base, dart).fraction_collected, 75.0);
+}
+
+}  // namespace
+}  // namespace dart::analytics

@@ -1,0 +1,64 @@
+#include "analytics/min_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analytics/usefulness.hpp"
+
+namespace dart::analytics {
+namespace {
+
+TEST(MinFilter, EmitsMinEveryWindow) {
+  MinFilter filter(4);
+  EXPECT_FALSE(filter.add(msec(30), sec(1)).has_value());
+  EXPECT_FALSE(filter.add(msec(10), sec(2)).has_value());
+  EXPECT_FALSE(filter.add(msec(20), sec(3)).has_value());
+  const auto window = filter.add(msec(40), sec(4));
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->min_rtt, msec(10));
+  EXPECT_EQ(window->window_index, 0U);
+  EXPECT_EQ(window->window_end_ts, sec(4));
+  EXPECT_EQ(window->samples_seen, 4U);
+}
+
+TEST(MinFilter, WindowsAreIndependent) {
+  MinFilter filter(2);
+  filter.add(msec(5), 1);
+  const auto first = filter.add(msec(7), 2);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->min_rtt, msec(5));
+  filter.add(msec(100), 3);
+  const auto second = filter.add(msec(90), 4);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->min_rtt, msec(90)) << "previous window's min must not leak";
+  EXPECT_EQ(second->window_index, 1U);
+}
+
+TEST(MinFilter, CurrentMinTracksPartialWindow) {
+  MinFilter filter(8);
+  EXPECT_FALSE(filter.current_min().has_value());
+  filter.add(msec(50), 1);
+  filter.add(msec(30), 2);
+  ASSERT_TRUE(filter.current_min().has_value());
+  EXPECT_EQ(*filter.current_min(), msec(30));
+}
+
+TEST(MinFilterUsefulness, VetoesRecordsOlderThanCurrentMin) {
+  MinFilterUsefulness filter(8);
+  core::RttSample sample;
+  sample.seq_ts = 0;
+  sample.ack_ts = msec(20);  // rtt 20 ms becomes the current min
+  filter.observe(sample);
+
+  // A record already 30 ms old cannot beat a 20 ms minimum.
+  EXPECT_FALSE(filter.useful(/*seq_ts=*/0, /*now=*/msec(30)));
+  // A record only 5 ms old still can.
+  EXPECT_TRUE(filter.useful(/*seq_ts=*/msec(25), /*now=*/msec(30)));
+}
+
+TEST(MinFilterUsefulness, KeepsEverythingBeforeFirstSample) {
+  MinFilterUsefulness filter(8);
+  EXPECT_TRUE(filter.useful(0, sec(100)));
+}
+
+}  // namespace
+}  // namespace dart::analytics

@@ -1,0 +1,63 @@
+#include "analytics/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::analytics {
+namespace {
+
+TEST(PercentileSet, BasicOrderStatistics) {
+  PercentileSet set;
+  for (Timestamp v : {50U, 10U, 40U, 20U, 30U}) set.add(v);
+  EXPECT_EQ(set.count(), 5U);
+  EXPECT_EQ(set.min(), 10U);
+  EXPECT_EQ(set.max(), 50U);
+  EXPECT_DOUBLE_EQ(set.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(set.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(set.mean(), 30.0);
+}
+
+TEST(PercentileSet, LinearInterpolationBetweenRanks) {
+  PercentileSet set;
+  set.add(0);
+  set.add(100);
+  EXPECT_DOUBLE_EQ(set.percentile(25), 25.0);
+  EXPECT_DOUBLE_EQ(set.percentile(75), 75.0);
+}
+
+TEST(PercentileSet, SingleValue) {
+  PercentileSet set;
+  set.add(42);
+  EXPECT_DOUBLE_EQ(set.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(set.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(set.percentile(99), 42.0);
+}
+
+TEST(PercentileSet, CdfAndCcdf) {
+  PercentileSet set;
+  for (Timestamp v = 1; v <= 100; ++v) set.add(v);
+  EXPECT_DOUBLE_EQ(set.cdf_at(50), 0.50);
+  EXPECT_DOUBLE_EQ(set.cdf_at(100), 1.0);
+  EXPECT_DOUBLE_EQ(set.cdf_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(set.ccdf_at(90), 0.10);
+}
+
+TEST(PercentileSet, InterleavedAddAndQuery) {
+  PercentileSet set;
+  set.add(10);
+  EXPECT_DOUBLE_EQ(set.percentile(50), 10.0);
+  set.add(20);
+  set.add(30);
+  EXPECT_DOUBLE_EQ(set.percentile(50), 20.0);  // re-sorts after adds
+}
+
+TEST(PercentileSet, ClampsOutOfRangeP) {
+  PercentileSet set;
+  set.add(5);
+  set.add(15);
+  EXPECT_DOUBLE_EQ(set.percentile(-10), 5.0);
+  EXPECT_DOUBLE_EQ(set.percentile(200), 15.0);
+}
+
+}  // namespace
+}  // namespace dart::analytics

@@ -1,0 +1,78 @@
+// Per-prefix min-RTT change detection (the Section 3.3 operator use case).
+#include "analytics/prefix_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::analytics {
+namespace {
+
+core::RttSample sample(Ipv4Addr dst, Timestamp rtt, Timestamp at) {
+  core::RttSample s;
+  s.tuple = FourTuple{Ipv4Addr{10, 8, 0, 1}, dst, 40000, 443};
+  s.seq_ts = at;
+  s.ack_ts = at + rtt;
+  return s;
+}
+
+void feed_windows(PrefixChangeDetector& detector, Ipv4Addr dst, int windows,
+                  Timestamp rtt, Timestamp start) {
+  for (int w = 0; w < windows; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      detector.add(sample(dst, rtt + msec(i % 3),
+                          start + sec(w) + msec(i * 50)));
+    }
+  }
+}
+
+const Ipv4Addr kAttacked{198, 51, 100, 7};
+const Ipv4Addr kHealthy{104, 16, 20, 9};
+
+TEST(PrefixChangeDetector, ConfirmsOnlyTheShiftedPrefix) {
+  PrefixChangeDetector detector(24);
+  feed_windows(detector, kAttacked, 4, msec(25), 0);
+  feed_windows(detector, kHealthy, 4, msec(30), 0);
+  // One prefix's path is intercepted.
+  feed_windows(detector, kAttacked, 3, msec(120), sec(100));
+  feed_windows(detector, kHealthy, 3, msec(30), sec(100));
+
+  const auto confirmed = detector.confirmed();
+  ASSERT_EQ(confirmed.size(), 1U);
+  EXPECT_EQ(confirmed[0], Ipv4Prefix::of(kAttacked, 24));
+  EXPECT_EQ(detector.tracked_prefixes(), 2U);
+}
+
+TEST(PrefixChangeDetector, EmitsEventsWithPrefix) {
+  PrefixChangeDetector detector(24);
+  feed_windows(detector, kAttacked, 4, msec(25), 0);
+
+  std::optional<PrefixChangeDetector::PrefixEvent> suspicion;
+  for (int w = 0; w < 2 && !suspicion; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      auto event = detector.add(
+          sample(kAttacked, msec(120), sec(100 + w) + msec(i * 50)));
+      if (event && !suspicion) suspicion = event;
+    }
+  }
+  ASSERT_TRUE(suspicion.has_value());
+  EXPECT_EQ(suspicion->prefix, Ipv4Prefix::of(kAttacked, 24));
+  EXPECT_EQ(suspicion->event.state, DetectionState::kSuspected);
+}
+
+TEST(PrefixChangeDetector, SparsePrefixesStaySilent) {
+  PrefixChangeDetector detector(24);
+  // 5 samples never complete an 8-sample window.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(detector.add(sample(kHealthy, msec(20), sec(i))));
+  }
+  EXPECT_TRUE(detector.confirmed().empty());
+}
+
+TEST(PrefixChangeDetector, PrefixLengthControlsGranularity) {
+  PrefixChangeDetector detector(16);
+  detector.add(sample(Ipv4Addr{104, 16, 1, 1}, msec(20), 0));
+  detector.add(sample(Ipv4Addr{104, 16, 200, 9}, msec(20), 1));
+  EXPECT_EQ(detector.tracked_prefixes(), 1U) << "same /16 bucket";
+}
+
+}  // namespace
+}  // namespace dart::analytics

@@ -1,0 +1,85 @@
+#include "baseline/dapper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::baseline {
+namespace {
+
+const FourTuple kFlow{Ipv4Addr{10, 8, 0, 5}, Ipv4Addr{93, 184, 216, 34},
+                      40000, 443};
+
+PacketRecord data(Timestamp ts, SeqNum seq, std::uint16_t len) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = kFlow;
+  p.seq = seq;
+  p.payload = len;
+  p.flags = tcp_flag::kAck;
+  p.outbound = true;
+  return p;
+}
+
+PacketRecord pure_ack(Timestamp ts, SeqNum ack) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = kFlow.reversed();
+  p.ack = ack;
+  p.flags = tcp_flag::kAck;
+  p.outbound = false;
+  return p;
+}
+
+TEST(DapperLike, OneSamplePerRoundTrip) {
+  core::VectorSink sink;
+  DapperLike dapper(DapperConfig{}, sink.callback());
+  dapper.process(data(usec(0), 1000, 1000));
+  dapper.process(data(usec(10), 2000, 1000));  // skipped: one in flight
+  dapper.process(data(usec(20), 3000, 1000));  // skipped
+  dapper.process(pure_ack(usec(300), 4000));   // cumulative, past armed eACK
+  EXPECT_EQ(dapper.stats().skipped, 2U);
+  // The cumulative ACK passed the armed packet's eACK without an exact
+  // match: measurement lost, tracker re-arms on the next data packet.
+  EXPECT_TRUE(sink.samples().empty());
+  dapper.process(data(usec(400), 4000, 1000));
+  dapper.process(pure_ack(usec(700), 5000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(300));
+}
+
+TEST(DapperLike, ExactAckMatchesArmedPacket) {
+  core::VectorSink sink;
+  DapperLike dapper(DapperConfig{}, sink.callback());
+  dapper.process(data(usec(0), 1000, 1000));
+  dapper.process(pure_ack(usec(150), 2000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(150));
+  EXPECT_EQ(dapper.stats().armed, 1U);
+}
+
+TEST(DapperLike, CollectsFarFewerSamplesThanPerPacketTracking) {
+  // A window of back-to-back segments: Dapper gets at most one sample per
+  // window — the paper's core critique (Section 8).
+  core::VectorSink sink;
+  DapperLike dapper(DapperConfig{}, sink.callback());
+  for (int w = 0; w < 10; ++w) {
+    const SeqNum base = 1000 + w * 8000;
+    for (int i = 0; i < 8; ++i) {
+      dapper.process(data(msec(w * 10) + usec(i), base + i * 1000, 1000));
+    }
+    dapper.process(pure_ack(msec(w * 10) + usec(500), base + 1000));
+  }
+  EXPECT_EQ(sink.samples().size(), 10U);  // one per window of 8
+  EXPECT_EQ(dapper.stats().skipped, 70U);
+}
+
+TEST(DapperLike, StaleAckDoesNotDisturbArmedMeasurement) {
+  core::VectorSink sink;
+  DapperLike dapper(DapperConfig{}, sink.callback());
+  dapper.process(data(usec(0), 1000, 1000));
+  dapper.process(pure_ack(usec(10), 900));  // below the armed eACK
+  dapper.process(pure_ack(usec(200), 2000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+}
+
+}  // namespace
+}  // namespace dart::baseline

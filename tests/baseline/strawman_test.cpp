@@ -1,0 +1,107 @@
+// The Section 2 strawman: no Range Tracker, so TCP ambiguities corrupt its
+// samples — the failure modes Dart is built to avoid.
+#include "baseline/strawman.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::baseline {
+namespace {
+
+const FourTuple kFlow{Ipv4Addr{10, 8, 0, 5}, Ipv4Addr{93, 184, 216, 34},
+                      40000, 443};
+
+PacketRecord data(Timestamp ts, SeqNum seq, std::uint16_t len,
+                  const FourTuple& tuple = kFlow) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = tuple;
+  p.seq = seq;
+  p.payload = len;
+  p.flags = tcp_flag::kAck;
+  p.outbound = true;
+  return p;
+}
+
+PacketRecord pure_ack(Timestamp ts, SeqNum ack,
+                      const FourTuple& tuple = kFlow) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = tuple.reversed();
+  p.ack = ack;
+  p.flags = tcp_flag::kAck;
+  p.outbound = false;
+  return p;
+}
+
+TEST(Strawman, BasicMatch) {
+  core::VectorSink sink;
+  Strawman strawman(StrawmanConfig{}, sink.callback());
+  strawman.process(data(usec(0), 1000, 1000));
+  strawman.process(pure_ack(usec(250), 2000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(250));
+}
+
+TEST(Strawman, RetransmissionAmbiguityCorruptsSample) {
+  // The retransmitted copy overwrites the original's timestamp; the ACK of
+  // the *original* then yields an under-measured RTT (Section 2.2). Dart
+  // would produce no sample here; the strawman produces a wrong one.
+  core::VectorSink sink;
+  Strawman strawman(StrawmanConfig{}, sink.callback());
+  strawman.process(data(usec(0), 1000, 1000));
+  strawman.process(data(usec(900), 1000, 1000));  // rtx, same key
+  strawman.process(pure_ack(usec(1000), 2000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(100))
+      << "measured from the rtx copy: wrong if the ACK was for the original";
+}
+
+TEST(Strawman, TimeoutEvictsStaleEntries) {
+  StrawmanConfig config;
+  config.entry_timeout = msec(1);
+  core::VectorSink sink;
+  Strawman strawman(config, sink.callback());
+  strawman.process(data(usec(0), 1000, 1000));
+  strawman.process(pure_ack(msec(10), 2000));  // too late: entry expired
+  EXPECT_TRUE(sink.samples().empty());
+  EXPECT_EQ(strawman.stats().timeout_evictions, 1U);
+}
+
+TEST(Strawman, TimeoutBiasesAgainstLongRtts) {
+  // Same exchange, RTT below the timeout: sampled. The timeout eviction
+  // policy is biased exactly as Section 2.3 warns.
+  StrawmanConfig config;
+  config.entry_timeout = msec(50);
+  core::VectorSink sink;
+  Strawman strawman(config, sink.callback());
+  strawman.process(data(usec(0), 1000, 1000));
+  strawman.process(pure_ack(msec(10), 2000));
+  EXPECT_EQ(sink.samples().size(), 1U);
+}
+
+TEST(Strawman, CollisionOverwritesBlindly) {
+  StrawmanConfig config;
+  config.table_size = 1;
+  core::VectorSink sink;
+  Strawman strawman(config, sink.callback());
+  strawman.process(data(usec(0), 1000, 1000));
+  FourTuple other = kFlow;
+  other.src_port = 41000;
+  strawman.process(data(usec(10), 7000, 500, other));
+  EXPECT_EQ(strawman.stats().overwrites, 1U);
+  // The first flow's ACK now misses: its sample is lost forever.
+  strawman.process(pure_ack(usec(300), 2000));
+  EXPECT_TRUE(sink.samples().empty());
+}
+
+TEST(Strawman, IgnoresSynByDefault) {
+  core::VectorSink sink;
+  Strawman strawman(StrawmanConfig{}, sink.callback());
+  PacketRecord syn = data(usec(0), 999, 0);
+  syn.flags = tcp_flag::kSyn;
+  strawman.process(syn);
+  EXPECT_EQ(strawman.stats().inserted, 0U);
+}
+
+}  // namespace
+}  // namespace dart::baseline

@@ -1,0 +1,173 @@
+// The tcptrace-like software baseline: unbounded memory, multi-range hole
+// tracking, Karn exclusion, 64-bit unwrapped sequence arithmetic.
+#include "baseline/tcptrace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::baseline {
+namespace {
+
+const FourTuple kFlow{Ipv4Addr{10, 8, 0, 5}, Ipv4Addr{93, 184, 216, 34},
+                      40000, 443};
+
+PacketRecord data(Timestamp ts, SeqNum seq, std::uint16_t len) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = kFlow;
+  p.seq = seq;
+  p.payload = len;
+  p.flags = tcp_flag::kAck | tcp_flag::kPsh;
+  p.outbound = true;
+  return p;
+}
+
+PacketRecord pure_ack(Timestamp ts, SeqNum ack) {
+  PacketRecord p;
+  p.ts = ts;
+  p.tuple = kFlow.reversed();
+  p.ack = ack;
+  p.flags = tcp_flag::kAck;
+  p.outbound = false;
+  return p;
+}
+
+TcpTraceConfig minus_syn() {
+  TcpTraceConfig config;
+  config.include_syn = false;
+  return config;
+}
+
+TEST(TcpTrace, BasicMatch) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));
+  baseline.process(pure_ack(usec(300), 2000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(300));
+}
+
+TEST(TcpTrace, TracksRangesAcrossHoles) {
+  // Dart forgoes samples below a hole; tcptrace keeps every outstanding
+  // range — the core reason for its higher count in Figure 9a.
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));    // P1: eACK 2000
+  baseline.process(data(usec(20), 3000, 1000));   // P3 (P2 never seen): hole
+  baseline.process(pure_ack(usec(200), 2000));    // ACK of P1
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].eack, 2000U);
+  // Later the hole closes out of sight and a cumulative ACK lands on P3.
+  baseline.process(pure_ack(usec(400), 4000));
+  ASSERT_EQ(sink.samples().size(), 2U);
+  EXPECT_EQ(sink.samples()[1].eack, 4000U);
+  EXPECT_EQ(sink.samples()[1].seq_ts, usec(20));
+}
+
+TEST(TcpTrace, KarnExcludesRetransmittedRange) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));
+  baseline.process(data(usec(500), 1000, 1000));  // retransmission
+  baseline.process(pure_ack(usec(800), 2000));
+  EXPECT_TRUE(sink.samples().empty());
+  EXPECT_EQ(baseline.stats().retransmissions, 1U);
+}
+
+TEST(TcpTrace, KarnExclusionIsPerSegmentNotPerFlow) {
+  // Unlike Dart's whole-range collapse, tcptrace keeps sampling other
+  // segments of the same flow.
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));    // P1
+  baseline.process(data(usec(10), 2000, 1000));   // P2
+  baseline.process(data(usec(400), 1000, 1000));  // P1 rtx
+  baseline.process(pure_ack(usec(500), 2000));    // ambiguous: no sample
+  baseline.process(pure_ack(usec(600), 3000));    // P2: clean sample
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].eack, 3000U);
+}
+
+TEST(TcpTrace, DuplicateAcksDoNotSample) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));
+  baseline.process(pure_ack(usec(100), 2000));
+  baseline.process(pure_ack(usec(200), 2000));  // dup
+  baseline.process(pure_ack(usec(300), 2000));  // dup
+  EXPECT_EQ(sink.samples().size(), 1U);
+}
+
+TEST(TcpTrace, CumulativeAckSamplesHighestCoveredSegment) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  baseline.process(data(usec(0), 1000, 1000));
+  baseline.process(data(usec(10), 2000, 1000));
+  baseline.process(data(usec(20), 3000, 1000));
+  baseline.process(pure_ack(usec(300), 4000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].seq_ts, usec(20));
+  // All covered segments are retired: nothing left outstanding.
+  baseline.process(pure_ack(usec(400), 4000));
+  EXPECT_EQ(sink.samples().size(), 1U);
+}
+
+TEST(TcpTrace, HandlesWraparoundWithUnwrappedArithmetic) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  const SeqNum high = 0xFFFFFC00U;
+  baseline.process(data(usec(0), high, 1024));  // ends exactly at 0
+  baseline.process(data(usec(10), 0, 1024));    // post-wrap
+  baseline.process(pure_ack(usec(200), 0));     // acks the pre-wrap segment
+  baseline.process(pure_ack(usec(300), 1024));
+  ASSERT_EQ(sink.samples().size(), 2U);
+  EXPECT_EQ(sink.samples()[0].seq_ts, usec(0));
+  EXPECT_EQ(sink.samples()[1].seq_ts, usec(10));
+}
+
+TEST(TcpTrace, MinusSynIgnoresHandshake) {
+  core::VectorSink sink;
+  TcpTrace baseline(minus_syn(), sink.callback());
+  PacketRecord syn = data(usec(0), 999, 0);
+  syn.flags = tcp_flag::kSyn;
+  baseline.process(syn);
+  baseline.process(pure_ack(usec(100), 1000));
+  EXPECT_TRUE(sink.samples().empty());
+}
+
+TEST(TcpTrace, PlusSynCollectsHandshakeRtt) {
+  TcpTraceConfig config;  // +SYN default
+  core::VectorSink sink;
+  TcpTrace baseline(config, sink.callback());
+  PacketRecord syn = data(usec(0), 999, 0);
+  syn.flags = tcp_flag::kSyn;
+  baseline.process(syn);
+  baseline.process(pure_ack(usec(150), 1000));
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].rtt(), usec(150));
+}
+
+TEST(TcpTrace, QuadrantBugDoubleCountsStraddlingSegments) {
+  TcpTraceConfig config;
+  config.include_syn = false;
+  config.emulate_quadrant_bug = true;
+  core::VectorSink sink;
+  TcpTrace baseline(config, sink.callback());
+  // Segment straddles the 0x40000000 quadrant boundary.
+  baseline.process(data(usec(0), 0x3FFFFE00U, 1024));
+  baseline.process(pure_ack(usec(100), 0x40000200U));
+  EXPECT_EQ(sink.samples().size(), 2U);
+  EXPECT_EQ(baseline.stats().quadrant_extra_samples, 1U);
+}
+
+TEST(TcpTrace, StatsCountFlowsAndSegments) {
+  TcpTrace baseline(minus_syn());
+  baseline.process(data(usec(0), 1000, 1000));
+  PacketRecord other = data(usec(5), 500, 500);
+  other.tuple.src_port = 40001;
+  baseline.process(other);
+  EXPECT_EQ(baseline.stats().flows, 2U);
+  EXPECT_EQ(baseline.stats().segments_tracked, 2U);
+}
+
+}  // namespace
+}  // namespace dart::baseline

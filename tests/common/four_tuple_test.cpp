@@ -1,0 +1,72 @@
+#include "common/four_tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dart {
+namespace {
+
+FourTuple example() {
+  return FourTuple{Ipv4Addr{10, 8, 1, 2}, Ipv4Addr{23, 52, 0, 9}, 41000, 443};
+}
+
+TEST(FourTuple, ReversedSwapsEndpoints) {
+  const FourTuple t = example();
+  const FourTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_ip, t.src_ip);
+  EXPECT_EQ(r.src_port, t.dst_port);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FourTuple, CanonicalIsDirectionInsensitive) {
+  const FourTuple t = example();
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+}
+
+TEST(FourTuple, HashDiffersFromReverse) {
+  // The RT keys on the *data direction* tuple; both directions must map to
+  // different keys so SEQ and ACK lookups do not alias.
+  const FourTuple t = example();
+  EXPECT_NE(hash_tuple(t), hash_tuple(t.reversed()));
+}
+
+TEST(FourTuple, HashIsDeterministic) {
+  EXPECT_EQ(hash_tuple(example()), hash_tuple(example()));
+  EXPECT_EQ(flow_signature(example()), flow_signature(example()));
+}
+
+TEST(FourTuple, SignatureSpreadsOverManyFlows) {
+  // 4-byte signatures should be collision-rare at the scale the RT sees.
+  std::unordered_set<std::uint32_t> signatures;
+  const int flows = 20000;
+  for (int i = 0; i < flows; ++i) {
+    FourTuple t;
+    t.src_ip = Ipv4Addr{static_cast<std::uint32_t>(0x0A080000 + i)};
+    t.dst_ip = Ipv4Addr{static_cast<std::uint32_t>(0x17340000 + i * 7)};
+    t.src_port = static_cast<std::uint16_t>(1024 + (i % 60000));
+    t.dst_port = 443;
+    signatures.insert(flow_signature(t));
+  }
+  // Birthday bound: expected collisions ~ flows^2 / 2^33 ~ 0.05.
+  EXPECT_GE(signatures.size(), static_cast<std::size_t>(flows - 3));
+}
+
+TEST(FourTuple, OrderingIsStrictWeak) {
+  const FourTuple a = example();
+  FourTuple b = a;
+  b.dst_port = 80;
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(FourTuple, ToStringMentionsBothEndpoints) {
+  const std::string text = example().to_string();
+  EXPECT_NE(text.find("10.8.1.2:41000"), std::string::npos);
+  EXPECT_NE(text.find("23.52.0.9:443"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,78 @@
+#include "common/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+
+namespace dart {
+namespace {
+
+TEST(Mix64, IsDeterministicAndNontrivial) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+  EXPECT_NE(mix64(0), 0ULL);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = mix64(0xDEADBEEFCAFEF00DULL);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped =
+        mix64(0xDEADBEEFCAFEF00DULL ^ (1ULL << bit));
+    const int popcount = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(popcount, 10) << "weak avalanche at bit " << bit;
+    EXPECT_LT(popcount, 54) << "weak avalanche at bit " << bit;
+  }
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const std::array<std::uint8_t, 9> data = {'1', '2', '3', '4', '5',
+                                            '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data)), 0xCBF43926U);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(crc32({}), 0U);
+}
+
+TEST(Crc32U32, ConsistentWithBytewiseCrc) {
+  const std::uint32_t word = 0x01020304U;
+  const std::array<std::uint8_t, 4> bytes = {0x04, 0x03, 0x02, 0x01};  // LE
+  EXPECT_EQ(crc32_u32(word), crc32(std::span<const std::uint8_t>(bytes)));
+}
+
+TEST(HashFamily, StagesAreIndependent) {
+  const HashFamily family(99);
+  const std::uint64_t key = 0xABCDEF12345ULL;
+  std::unordered_set<std::uint64_t> values;
+  for (std::uint32_t stage = 0; stage < 8; ++stage) {
+    values.insert(family(key, stage));
+  }
+  EXPECT_EQ(values.size(), 8U);  // all distinct for this key
+}
+
+TEST(HashFamily, SeedChangesMapping) {
+  const HashFamily a(1);
+  const HashFamily b(2);
+  EXPECT_NE(a(42, 0), b(42, 0));
+}
+
+TEST(HashFamily, StageIndexDistributionIsRoughlyUniform) {
+  const HashFamily family(7);
+  constexpr std::size_t buckets = 64;
+  std::array<int, buckets> counts{};
+  const int keys = 64000;
+  for (int i = 0; i < keys; ++i) {
+    ++counts[family(static_cast<std::uint64_t>(i), 1) % buckets];
+  }
+  const int expected = keys / buckets;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    EXPECT_GT(counts[i], expected / 2) << "bucket " << i;
+    EXPECT_LT(counts[i], expected * 2) << "bucket " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dart

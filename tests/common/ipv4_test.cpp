@@ -1,0 +1,76 @@
+#include "common/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart {
+namespace {
+
+TEST(Ipv4Addr, RoundTripFormatting) {
+  const Ipv4Addr addr{10, 9, 1, 200};
+  EXPECT_EQ(addr.to_string(), "10.9.1.200");
+  const auto parsed = Ipv4Addr::parse("10.9.1.200");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(Ipv4Addr, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0U);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xFFFFFFFFU);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Prefix, MasksBaseOnConstruction) {
+  const Ipv4Prefix prefix{Ipv4Addr{10, 9, 1, 200}, 16};
+  EXPECT_EQ(prefix.base(), (Ipv4Addr{10, 9, 0, 0}));
+  EXPECT_EQ(prefix.to_string(), "10.9.0.0/16");
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const Ipv4Prefix prefix{Ipv4Addr{10, 9, 0, 0}, 16};
+  EXPECT_TRUE(prefix.contains(Ipv4Addr{10, 9, 255, 1}));
+  EXPECT_FALSE(prefix.contains(Ipv4Addr{10, 8, 0, 1}));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix everything{Ipv4Addr{1, 2, 3, 4}, 0};
+  EXPECT_TRUE(everything.contains(Ipv4Addr{255, 255, 255, 255}));
+  EXPECT_TRUE(everything.contains(Ipv4Addr{0, 0, 0, 0}));
+}
+
+TEST(Ipv4Prefix, FullLengthIsExactMatch) {
+  const Ipv4Prefix host{Ipv4Addr{10, 9, 1, 200}, 32};
+  EXPECT_TRUE(host.contains(Ipv4Addr{10, 9, 1, 200}));
+  EXPECT_FALSE(host.contains(Ipv4Addr{10, 9, 1, 201}));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto prefix = Ipv4Prefix::parse("192.168.4.0/22");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->length(), 22U);
+  EXPECT_TRUE(prefix->contains(Ipv4Addr{192, 168, 7, 99}));
+  EXPECT_FALSE(prefix->contains(Ipv4Addr{192, 168, 8, 1}));
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/8x"));
+}
+
+TEST(Ipv4Prefix, OfNormalizes) {
+  EXPECT_EQ(Ipv4Prefix::of(Ipv4Addr{23, 52, 11, 9}, 24),
+            (Ipv4Prefix{Ipv4Addr{23, 52, 11, 0}, 24}));
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,69 @@
+#include "common/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart {
+namespace {
+
+PacketRecord data_packet(SeqNum seq, std::uint16_t payload) {
+  PacketRecord p;
+  p.seq = seq;
+  p.payload = payload;
+  p.flags = tcp_flag::kAck | tcp_flag::kPsh;
+  return p;
+}
+
+TEST(PacketRecord, SeqSpanCountsPayload) {
+  EXPECT_EQ(data_packet(100, 1460).seq_span(), 1460U);
+  EXPECT_EQ(data_packet(100, 1460).expected_ack(), 1560U);
+}
+
+TEST(PacketRecord, SynAndFinConsumeOneSequenceNumber) {
+  PacketRecord syn;
+  syn.seq = 500;
+  syn.flags = tcp_flag::kSyn;
+  EXPECT_EQ(syn.seq_span(), 1U);
+  EXPECT_EQ(syn.expected_ack(), 501U);
+  EXPECT_TRUE(syn.carries_data());
+
+  PacketRecord fin;
+  fin.seq = 900;
+  fin.flags = tcp_flag::kFin | tcp_flag::kAck;
+  fin.payload = 10;
+  EXPECT_EQ(fin.seq_span(), 11U);
+  EXPECT_EQ(fin.expected_ack(), 911U);
+}
+
+TEST(PacketRecord, PureAckCarriesNoData) {
+  PacketRecord ack;
+  ack.flags = tcp_flag::kAck;
+  EXPECT_FALSE(ack.carries_data());
+  EXPECT_EQ(ack.seq_span(), 0U);
+}
+
+TEST(PacketRecord, ExpectedAckWrapsAroundSequenceSpace) {
+  PacketRecord p = data_packet(0xFFFFFFF0U, 0x20);
+  EXPECT_EQ(p.expected_ack(), 0x10U);
+}
+
+TEST(PacketRecord, FlagPredicates) {
+  PacketRecord p;
+  p.flags = tcp_flag::kSyn | tcp_flag::kAck;
+  EXPECT_TRUE(p.is_syn());
+  EXPECT_TRUE(p.is_ack());
+  EXPECT_FALSE(p.is_fin());
+  EXPECT_FALSE(p.is_rst());
+}
+
+TEST(PacketRecord, ToStringShowsFlagsAndDirection) {
+  PacketRecord p = data_packet(100, 10);
+  p.tuple = FourTuple{Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{10, 0, 0, 2}, 1, 2};
+  p.outbound = true;
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("seq=100"), std::string::npos);
+  EXPECT_NE(text.find("[AP]"), std::string::npos);
+  EXPECT_NE(text.find(" out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,120 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dart {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(9);
+  Rng parent2(9);
+  Rng fork_a = parent1.fork(5);
+  Rng fork_b = parent2.fork(5);
+  EXPECT_EQ(fork_a.next_u64(), fork_b.next_u64());
+
+  Rng parent3(9);
+  Rng other = parent3.fork(6);
+  EXPECT_NE(fork_a.next_u64(), other.next_u64());
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(31);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3U);
+    EXPECT_LE(v, 9U);
+    saw_lo |= v == 3;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42U);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(17);
+  const int trials = 100000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(29);
+  const int n = 50001;
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.lognormal(std::log(10.0), 0.5);
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  EXPECT_NEAR(values[n / 2], 10.0, 0.5);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(41);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(43);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.3), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace dart

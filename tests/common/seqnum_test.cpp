@@ -1,0 +1,105 @@
+// Wraparound-aware sequence arithmetic: the foundation every tracker's
+// correctness rests on.
+#include "common/seqnum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart {
+namespace {
+
+TEST(SeqNum, OrdinaryOrdering) {
+  EXPECT_TRUE(seq_lt(100, 200));
+  EXPECT_FALSE(seq_lt(200, 100));
+  EXPECT_FALSE(seq_lt(100, 100));
+  EXPECT_TRUE(seq_le(100, 100));
+  EXPECT_TRUE(seq_gt(200, 100));
+  EXPECT_TRUE(seq_ge(200, 200));
+}
+
+TEST(SeqNum, OrderingAcrossWraparound) {
+  const SeqNum near_top = 0xFFFFFF00U;
+  const SeqNum wrapped = 0x00000100U;
+  // wrapped is 512 bytes *after* near_top in the circular space.
+  EXPECT_TRUE(seq_lt(near_top, wrapped));
+  EXPECT_FALSE(seq_lt(wrapped, near_top));
+  EXPECT_EQ(seq_distance(near_top, wrapped), 512U);
+}
+
+TEST(SeqNum, HalfSpaceBoundary) {
+  // A distance of exactly 2^31 is ambiguous in serial arithmetic: a - b and
+  // b - a are both INT32_MIN, so each side compares "less" than the other.
+  // Real flows never span 2^31 bytes of in-flight data, so trackers only
+  // rely on comparisons strictly inside the half-space.
+  const SeqNum a = 0;
+  const SeqNum b = 0x80000000U;
+  EXPECT_TRUE(seq_lt(a, b));
+  EXPECT_TRUE(seq_lt(b, a));
+}
+
+TEST(SeqNum, AddWraps) {
+  EXPECT_EQ(seq_add(0xFFFFFFFFU, 1), 0U);
+  EXPECT_EQ(seq_add(0xFFFFFF00U, 0x200), 0x100U);
+}
+
+TEST(SeqNum, ClosedIntervalContainment) {
+  EXPECT_TRUE(seq_in_closed(150, 100, 200));
+  EXPECT_TRUE(seq_in_closed(100, 100, 200));
+  EXPECT_TRUE(seq_in_closed(200, 100, 200));
+  EXPECT_FALSE(seq_in_closed(99, 100, 200));
+  EXPECT_FALSE(seq_in_closed(201, 100, 200));
+}
+
+TEST(SeqNum, ClosedIntervalAcrossWrap) {
+  const SeqNum lo = 0xFFFFFE00U;
+  const SeqNum hi = 0x00000200U;
+  EXPECT_TRUE(seq_in_closed(0xFFFFFF00U, lo, hi));
+  EXPECT_TRUE(seq_in_closed(0x00000100U, lo, hi));
+  EXPECT_FALSE(seq_in_closed(0x00000300U, lo, hi));
+  EXPECT_FALSE(seq_in_closed(0xFFFFFD00U, lo, hi));
+}
+
+TEST(SeqNum, LeftOpenInterval) {
+  EXPECT_FALSE(seq_in_left_open(100, 100, 200));  // left edge excluded
+  EXPECT_TRUE(seq_in_left_open(101, 100, 200));
+  EXPECT_TRUE(seq_in_left_open(200, 100, 200));   // right edge included
+  EXPECT_FALSE(seq_in_left_open(201, 100, 200));
+}
+
+TEST(SeqNum, EmptyLeftOpenInterval) {
+  // A collapsed range (left == right) contains nothing.
+  EXPECT_FALSE(seq_in_left_open(500, 500, 500));
+  EXPECT_FALSE(seq_in_left_open(499, 500, 500));
+  EXPECT_FALSE(seq_in_left_open(501, 500, 500));
+}
+
+TEST(SeqNum, WrapDetection) {
+  EXPECT_TRUE(seq_wrapped(0xFFFFFF00U, 0x100U));
+  EXPECT_FALSE(seq_wrapped(100, 200));
+  EXPECT_FALSE(seq_wrapped(200, 100));  // serial regression, not a wrap
+}
+
+// Property sweep: for any base b and span s < 2^31, b < b+s serially.
+class SeqNumPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SeqNum, std::uint32_t>> {};
+
+TEST_P(SeqNumPropertyTest, ForwardSpanOrdersCorrectly) {
+  const auto [base, span] = GetParam();
+  if (span == 0) {
+    EXPECT_FALSE(seq_lt(base, seq_add(base, span)));
+  } else {
+    EXPECT_TRUE(seq_lt(base, seq_add(base, span)));
+    EXPECT_TRUE(seq_gt(seq_add(base, span), base));
+    EXPECT_EQ(seq_distance(base, seq_add(base, span)), span);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeqNumPropertyTest,
+    ::testing::Combine(
+        ::testing::Values<SeqNum>(0U, 1U, 1000U, 0x7FFFFFFFU, 0x80000000U,
+                                  0xFFFFFF00U, 0xFFFFFFFFU),
+        ::testing::Values<std::uint32_t>(0U, 1U, 1460U, 0xFFFFU,
+                                         0x7FFFFFFFU)));
+
+}  // namespace
+}  // namespace dart

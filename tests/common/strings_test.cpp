@@ -1,0 +1,45 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercent, MultipliesByHundred) {
+  EXPECT_EQ(format_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FormatCount, GroupsThousands) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(135780000), "135,780,000");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "23456"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 23456 |"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dart

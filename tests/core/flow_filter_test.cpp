@@ -1,0 +1,122 @@
+// Operator flow selection (Section 4, "Specifying target flows").
+#include "core/flow_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dart_monitor.hpp"
+
+namespace dart::core {
+namespace {
+
+FourTuple tuple(Ipv4Addr src, std::uint16_t sport, Ipv4Addr dst,
+                std::uint16_t dport) {
+  return FourTuple{src, dst, sport, dport};
+}
+
+const Ipv4Addr kClient{10, 8, 3, 4};
+const Ipv4Addr kServer{93, 184, 216, 34};
+
+TEST(PortRange, ContainsAndFactories) {
+  EXPECT_TRUE(PortRange::any().contains(0));
+  EXPECT_TRUE(PortRange::any().contains(65535));
+  EXPECT_TRUE(PortRange::exactly(443).contains(443));
+  EXPECT_FALSE(PortRange::exactly(443).contains(444));
+  const PortRange ephemeral{32768, 60999};
+  EXPECT_TRUE(ephemeral.contains(40000));
+  EXPECT_FALSE(ephemeral.contains(1024));
+}
+
+TEST(FlowFilter, AllowAllTracksEverything) {
+  const FlowFilter filter = FlowFilter::allow_all();
+  EXPECT_TRUE(filter.tracks(tuple(kClient, 1, kServer, 2)));
+}
+
+TEST(FlowFilter, EmptyFilterTracksNothing) {
+  const FlowFilter filter;
+  EXPECT_FALSE(filter.tracks(tuple(kClient, 1, kServer, 2)));
+}
+
+TEST(FlowFilter, PrefixRuleSelectsSubnet) {
+  FlowFilter filter;
+  FlowRule rule;
+  rule.src = Ipv4Prefix{Ipv4Addr{10, 8, 0, 0}, 16};
+  filter.add_rule(rule);
+
+  EXPECT_TRUE(filter.tracks(tuple(kClient, 40000, kServer, 443)));
+  EXPECT_FALSE(
+      filter.tracks(tuple(Ipv4Addr{10, 9, 1, 1}, 40000, kServer, 443)));
+}
+
+TEST(FlowFilter, RulesAreDirectionInsensitive) {
+  FlowFilter filter;
+  FlowRule rule;
+  rule.src = Ipv4Prefix{Ipv4Addr{10, 8, 0, 0}, 16};
+  rule.dst_port = PortRange::exactly(443);
+  filter.add_rule(rule);
+
+  const FourTuple forward = tuple(kClient, 40000, kServer, 443);
+  EXPECT_TRUE(filter.tracks(forward));
+  EXPECT_TRUE(filter.tracks(forward.reversed()))
+      << "ACK-direction packets of a tracked connection must match";
+}
+
+TEST(FlowFilter, FirstMatchWins) {
+  FlowFilter filter;
+  FlowRule deny;
+  deny.dst_port = PortRange::exactly(22);
+  deny.track = false;
+  filter.add_rule(deny);
+  filter.add_rule(FlowRule{});  // allow the rest
+
+  EXPECT_FALSE(filter.tracks(tuple(kClient, 40000, kServer, 22)));
+  EXPECT_TRUE(filter.tracks(tuple(kClient, 40000, kServer, 443)));
+}
+
+TEST(FlowFilter, MonitorSkipsUntrackedConnections) {
+  FlowFilter filter;
+  FlowRule rule;
+  rule.dst = Ipv4Prefix{Ipv4Addr{93, 184, 0, 0}, 16};
+  filter.add_rule(rule);
+
+  DartConfig config;  // unbounded
+  VectorSink sink;
+  DartMonitor dart(config, sink.callback());
+  dart.set_flow_filter(&filter);
+
+  auto data = [](const FourTuple& t, Timestamp ts) {
+    PacketRecord p;
+    p.ts = ts;
+    p.tuple = t;
+    p.seq = 1000;
+    p.payload = 100;
+    p.flags = tcp_flag::kAck;
+    p.outbound = true;
+    return p;
+  };
+  auto ack = [](const FourTuple& t, Timestamp ts) {
+    PacketRecord p;
+    p.ts = ts;
+    p.tuple = t.reversed();
+    p.ack = 1100;
+    p.flags = tcp_flag::kAck;
+    p.outbound = false;
+    return p;
+  };
+
+  const FourTuple tracked = tuple(kClient, 40000, kServer, 443);
+  const FourTuple untracked =
+      tuple(kClient, 40001, Ipv4Addr{104, 16, 1, 1}, 443);
+
+  dart.process(data(tracked, usec(0)));
+  dart.process(ack(tracked, usec(100)));
+  dart.process(data(untracked, usec(0)));
+  dart.process(ack(untracked, usec(100)));
+
+  ASSERT_EQ(sink.samples().size(), 1U);
+  EXPECT_EQ(sink.samples()[0].tuple, tracked);
+  EXPECT_EQ(dart.stats().filtered_packets, 2U);
+  EXPECT_EQ(dart.range_tracker().occupied(), 1U);
+}
+
+}  // namespace
+}  // namespace dart::core

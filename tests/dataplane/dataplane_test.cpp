@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/resource_model.hpp"
+#include "dataplane/stage_table.hpp"
+
+namespace dart::dataplane {
+namespace {
+
+struct Entry {
+  bool valid = false;
+  int value = 0;
+};
+
+TEST(StageTable, OneSlotPerKeyPerStage) {
+  StageTable<Entry> table(64, /*hash_seed=*/3, /*stage_id=*/1);
+  const std::uint64_t key = 0xABCDEF;
+  EXPECT_EQ(table.index_of(key), table.index_of(key));
+  table.slot_for(key) = Entry{true, 7};
+  EXPECT_TRUE(table.slot_for(key).valid);
+  EXPECT_EQ(table.slot_for(key).value, 7);
+}
+
+TEST(StageTable, DifferentStagesDifferentMapping) {
+  StageTable<Entry> s1(1 << 12, 3, 1);
+  StageTable<Entry> s2(1 << 12, 3, 2);
+  int differing = 0;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    if (s1.index_of(key) != s2.index_of(key)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(StageTable, CountIfScansAllSlots) {
+  StageTable<Entry> table(16, 3, 0);
+  table.slot_for(1) = Entry{true, 0};
+  table.slot_for(2) = Entry{true, 0};
+  const std::size_t occupied =
+      table.count_if([](const Entry& e) { return e.valid; });
+  EXPECT_GE(occupied, 1U);  // keys 1 and 2 may collide in 16 slots
+  EXPECT_LE(occupied, 2U);
+}
+
+TEST(StageTable, ZeroSizeClampedToOne) {
+  StageTable<Entry> table(0, 3, 0);
+  EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(ResourceModel, SramScalesWithTableSizes) {
+  DartLayout small;
+  small.rt_slots = 1 << 12;
+  small.pt_slots = 1 << 13;
+  DartLayout large = small;
+  large.pt_slots = 1 << 18;
+  EXPECT_GT(estimate_usage(large).sram_bytes,
+            estimate_usage(small).sram_bytes);
+}
+
+TEST(ResourceModel, HashUnitsScaleWithStages) {
+  DartLayout one;
+  one.pt_stages = 1;
+  DartLayout eight = one;
+  eight.pt_stages = 8;
+  EXPECT_EQ(estimate_usage(eight).hash_units - estimate_usage(one).hash_units,
+            7U);
+}
+
+TEST(ResourceModel, UtilizationRowsMatchTable1Structure) {
+  const DartLayout layout;
+  const auto rows = utilization(estimate_usage(layout), tofino1_profile());
+  ASSERT_EQ(rows.size(), 5U);
+  EXPECT_EQ(rows[0].resource, "TCAM");
+  EXPECT_EQ(rows[1].resource, "SRAM");
+  EXPECT_EQ(rows[2].resource, "Hash Units");
+  EXPECT_EQ(rows[3].resource, "Logical Tables");
+  EXPECT_EQ(rows[4].resource, "Input Crossbars");
+  for (const auto& row : rows) {
+    EXPECT_GT(row.percent, 0.0) << row.resource;
+    EXPECT_LT(row.percent, 100.0) << row.resource;
+  }
+}
+
+TEST(ResourceModel, Tofino2HasMoreHeadroom) {
+  const DartLayout layout;
+  const auto usage = estimate_usage(layout);
+  const auto t1 = utilization(usage, tofino1_profile());
+  const auto t2 = utilization(usage, tofino2_profile());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_LE(t2[i].percent, t1[i].percent) << t1[i].resource;
+  }
+}
+
+TEST(ResourceModel, PaperScaleConfigurationFitsTofino1) {
+  // The paper's deployed configuration must not exceed any chip budget.
+  DartLayout layout;
+  layout.rt_slots = 1 << 16;
+  layout.pt_slots = 1 << 17;
+  layout.pt_stages = 1;
+  const auto rows = utilization(estimate_usage(layout), tofino1_profile());
+  for (const auto& row : rows) {
+    EXPECT_LT(row.percent, 60.0) << row.resource;
+  }
+}
+
+}  // namespace
+}  // namespace dart::dataplane

@@ -1,0 +1,84 @@
+// The Section 4 payload-size lookup table: must agree with the arithmetic
+// it replaces over the entire precomputed range.
+#include "dataplane/payload_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/resource_model.hpp"
+
+namespace dart::dataplane {
+namespace {
+
+TEST(PayloadLut, MatchesArithmeticEverywhere) {
+  const PayloadLut lut;
+  for (std::uint16_t len = PayloadLut::kMinTotalLen;
+       len <= PayloadLut::kMaxTotalLen; ++len) {
+    for (std::uint16_t tcp = PayloadLut::kMinTcpWords;
+         tcp <= PayloadLut::kMaxTcpWords; ++tcp) {
+      const auto fast = lut.lookup(len, PayloadLut::kIpHeaderWords, tcp);
+      ASSERT_TRUE(fast.has_value());
+      EXPECT_EQ(*fast,
+                PayloadLut::compute(len, PayloadLut::kIpHeaderWords, tcp));
+    }
+  }
+}
+
+TEST(PayloadLut, KnownValues) {
+  const PayloadLut lut;
+  // Plain 1500-byte MTU packet is outside (1480 cap); a 1480 total with
+  // minimal headers carries 1440 bytes.
+  EXPECT_EQ(lut.lookup(1480, 5, 5), std::make_optional<std::uint16_t>(1440));
+  // 40-byte total = bare headers = zero payload.
+  EXPECT_EQ(lut.lookup(40, 5, 5), std::make_optional<std::uint16_t>(0));
+  // Max TCP options: 5 + 15 words = 80 bytes of headers.
+  EXPECT_EQ(lut.lookup(100, 5, 15), std::make_optional<std::uint16_t>(20));
+}
+
+TEST(PayloadLut, OutOfRangeFallsBackToSlowPath) {
+  const PayloadLut lut;
+  EXPECT_FALSE(lut.lookup(1500, 5, 5).has_value());   // above cap
+  EXPECT_FALSE(lut.lookup(39, 5, 5).has_value());     // below floor
+  EXPECT_FALSE(lut.lookup(100, 6, 5).has_value());    // IP options
+  EXPECT_FALSE(lut.lookup(100, 5, 4).has_value());    // bogus TCP offset
+  EXPECT_FALSE(lut.lookup(100, 5, 16).has_value());
+}
+
+TEST(PayloadLut, ComputeClampsMalformedPackets) {
+  EXPECT_EQ(PayloadLut::compute(30, 5, 5), 0);  // headers exceed total
+}
+
+TEST(PayloadLut, EntryCountMatchesPaperRange) {
+  const PayloadLut lut;
+  EXPECT_EQ(lut.entries(), (1480u - 40u + 1u) * (15u - 5u + 1u));
+}
+
+TEST(ResourceModel, ValidateLayoutAcceptsPaperConfig) {
+  DartLayout layout;
+  layout.rt_slots = 1 << 16;
+  layout.pt_slots = 1 << 17;
+  EXPECT_TRUE(validate_layout(layout, tofino1_profile()).empty());
+  EXPECT_TRUE(validate_layout(layout, tofino2_profile()).empty());
+}
+
+TEST(ResourceModel, ValidateLayoutRejectsOversizedTables) {
+  DartLayout layout;
+  layout.rt_slots = 1ull << 26;  // ~860 MB of RT: no chip holds that
+  layout.pt_slots = 1ull << 26;
+  const auto problems = validate_layout(layout, tofino1_profile());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("SRAM"), std::string::npos);
+}
+
+TEST(ResourceModel, ValidateLayoutRejectsTooManyStages) {
+  DartLayout layout;
+  layout.pt_stages = 64;
+  const auto problems = validate_layout(layout, tofino1_profile());
+  bool stage_problem = false;
+  for (const auto& p : problems) {
+    stage_problem |= p.find("stages") != std::string::npos;
+  }
+  EXPECT_TRUE(stage_problem);
+}
+
+}  // namespace
+}  // namespace dart::dataplane

@@ -1,0 +1,152 @@
+// Additional simulator coverage: window limits, teardown, abort paths,
+// phased start offsets.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/flow_sim.hpp"
+#include "gen/workload.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace dart::gen {
+namespace {
+
+const FourTuple kTuple{Ipv4Addr{10, 8, 0, 1}, Ipv4Addr{23, 52, 1, 1}, 40000,
+                       443};
+
+FlowProfile base_profile() {
+  FlowProfile p;
+  p.tuple = kTuple;
+  p.internal = constant_rtt(msec(2));
+  p.external = constant_rtt(msec(20));
+  p.bytes_up = 100 * p.mss;
+  p.ack_every = 1;
+  return p;
+}
+
+TEST(FlowSimWindow, InflightNeverExceedsWindow) {
+  FlowProfile profile = base_profile();
+  profile.window_segments = 4;
+  const trace::Trace trace = simulate_flow(profile);
+
+  // Reconstruct in-flight bytes at the monitor: outbound data adds, inbound
+  // cumulative ACKs retire. The sender cannot exceed window * mss.
+  SeqNum highest_sent_end = 0;
+  SeqNum highest_acked = 0;
+  bool any_data = false;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      if (!any_data || seq_gt(p.expected_ack(), highest_sent_end)) {
+        highest_sent_end = p.expected_ack();
+      }
+      if (!any_data) highest_acked = p.seq;
+      any_data = true;
+      const std::uint32_t inflight =
+          seq_distance(highest_acked, highest_sent_end);
+      EXPECT_LE(inflight, 4U * profile.mss + 2U /* SYN+FIN bytes */);
+    } else if (!p.outbound && p.is_ack() && any_data &&
+               seq_gt(p.ack, highest_acked) &&
+               seq_le(p.ack, highest_sent_end)) {
+      highest_acked = p.ack;
+    }
+  }
+  EXPECT_TRUE(any_data);
+}
+
+TEST(FlowSimWindow, LargerWindowFinishesSooner) {
+  FlowProfile narrow = base_profile();
+  narrow.window_segments = 2;
+  FlowProfile wide = base_profile();
+  wide.window_segments = 16;
+  const Timestamp narrow_end =
+      simulate_flow(narrow).packets().back().ts;
+  const Timestamp wide_end = simulate_flow(wide).packets().back().ts;
+  EXPECT_LT(wide_end, narrow_end);
+}
+
+TEST(FlowSimTeardown, FinsAreExchangedAndAcked) {
+  const trace::Trace trace = simulate_flow(base_profile());
+  std::size_t fins = 0;
+  SeqNum client_fin_eack = 0;
+  for (const auto& p : trace.packets()) {
+    if (p.is_fin()) {
+      ++fins;
+      if (p.outbound) client_fin_eack = p.expected_ack();
+    }
+  }
+  EXPECT_EQ(fins, 2U) << "both sides close";
+  bool fin_acked = false;
+  for (const auto& p : trace.packets()) {
+    if (!p.outbound && p.is_ack() && p.ack == client_fin_eack) {
+      fin_acked = true;
+    }
+  }
+  EXPECT_TRUE(fin_acked);
+}
+
+TEST(FlowSimAbort, TotalLossAbortsAfterRetryLimit) {
+  FlowProfile profile = base_profile();
+  profile.loss_receiver_side = 1.0;  // nothing ever reaches the server
+  profile.max_segment_retx = 3;
+  const trace::Trace trace = simulate_flow(profile);
+  // SYN + 3 retries, all visible at the monitor, then silence.
+  EXPECT_EQ(trace.size(), 4U);
+  for (const auto& p : trace.packets()) EXPECT_TRUE(p.is_syn());
+}
+
+TEST(FlowSimBidirectional, ResponseDataFlowsAfterRequest) {
+  FlowProfile profile = base_profile();
+  profile.bytes_up = 2 * profile.mss;     // small request
+  profile.bytes_down = 50 * profile.mss;  // large response
+  const trace::Trace trace = simulate_flow(profile);
+  std::size_t down_data = 0;
+  for (const auto& p : trace.packets()) {
+    if (!p.outbound && p.payload > 0) ++down_data;
+  }
+  EXPECT_GE(down_data, 50U);
+}
+
+TEST(CampusStartOffset, ShiftsTheWholePhase) {
+  CampusConfig config;
+  config.connections = 200;
+  config.duration = sec(5);
+  config.seed = 5;
+  const trace::Trace unshifted = build_campus(config);
+  config.start_offset = sec(100);
+  const trace::Trace shifted = build_campus(config);
+
+  EXPECT_LT(unshifted.packets().front().ts, sec(6));
+  EXPECT_GE(shifted.packets().front().ts, sec(100));
+  // Same traffic, just translated in time (deterministic seed).
+  EXPECT_EQ(shifted.size(), unshifted.size());
+}
+
+TEST(InterceptionBackground, MonitoredFlowSurvivesMixing) {
+  InterceptionConfig config;
+  config.background_flows = 100;
+  const trace::Trace trace = build_interception(config);
+  std::size_t monitored = 0;
+  for (const auto& p : trace.packets()) {
+    if (p.tuple == interception_tuple() ||
+        p.tuple == interception_tuple().reversed()) {
+      ++monitored;
+    }
+  }
+  EXPECT_GT(monitored, 1000U);
+  EXPECT_LT(monitored, trace.size()) << "background must actually exist";
+}
+
+TEST(TraceAppend, ConcatenatesPacketsAndTruth) {
+  trace::Trace a = simulate_flow(base_profile());
+  FlowProfile other = base_profile();
+  other.tuple.src_port = 40001;
+  const trace::Trace b = simulate_flow(other);
+  const std::size_t total = a.size() + b.size();
+  const std::size_t truth_total = a.truth().size() + b.truth().size();
+  a.append(b);
+  EXPECT_EQ(a.size(), total);
+  EXPECT_EQ(a.truth().size(), truth_total);
+}
+
+}  // namespace
+}  // namespace dart::gen

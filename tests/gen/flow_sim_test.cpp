@@ -1,0 +1,276 @@
+// The TCP flow simulator must produce protocol-faithful packet streams and
+// trustworthy ground truth; every monitor's validation rests on it.
+#include "gen/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/rtt_model.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace dart::gen {
+namespace {
+
+const FourTuple kTuple{Ipv4Addr{10, 8, 0, 1}, Ipv4Addr{23, 52, 1, 1}, 40000,
+                       443};
+
+FlowProfile clean_profile(std::uint64_t up_segments = 20,
+                          std::uint64_t down_segments = 0) {
+  FlowProfile p;
+  p.tuple = kTuple;
+  p.internal = constant_rtt(msec(2));
+  p.external = constant_rtt(msec(20));
+  p.bytes_up = up_segments * p.mss;
+  p.bytes_down = down_segments * p.mss;
+  p.ack_every = 1;  // per-segment ACKs: every data packet sampleable
+  return p;
+}
+
+TEST(FlowSim, IsDeterministic) {
+  const trace::Trace a = simulate_flow(clean_profile());
+  const trace::Trace b = simulate_flow(clean_profile());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.packets()[i], b.packets()[i]);
+  }
+  EXPECT_EQ(a.truth().size(), b.truth().size());
+}
+
+TEST(FlowSim, OutputIsTimeOrdered) {
+  EXPECT_TRUE(simulate_flow(clean_profile()).is_time_ordered());
+}
+
+TEST(FlowSim, CleanFlowTruthCoversEveryUpSegment) {
+  const FlowProfile profile = clean_profile(20);
+  const trace::Trace trace = simulate_flow(profile);
+  std::size_t external_truth = 0;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) ++external_truth;
+  }
+  // SYN + 20 data segments + FIN, each ACKed per-segment with no loss.
+  EXPECT_EQ(external_truth, 22U);
+}
+
+TEST(FlowSim, CleanFlowExternalRttIsExact) {
+  const trace::Trace trace = simulate_flow(clean_profile(10));
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) {
+      // The external leg round trip is the external model's RTT: data
+      // monitor->server (10 ms) + immediate ACK server->monitor (10 ms),
+      // plus at most a few ns of FIFO serialization.
+      EXPECT_NEAR(static_cast<double>(sample.rtt()),
+                  static_cast<double>(msec(20)), 1000.0);
+    } else {
+      // Internal leg: client ACKs of down data.
+      EXPECT_NEAR(static_cast<double>(sample.rtt()),
+                  static_cast<double>(msec(2)), 1000.0);
+    }
+  }
+}
+
+TEST(FlowSim, BidirectionalFlowProducesBothLegsTruth) {
+  const trace::Trace trace = simulate_flow(clean_profile(10, 10));
+  bool saw_external = false;
+  bool saw_internal = false;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) saw_external = true;
+    if (sample.tuple == kTuple.reversed()) saw_internal = true;
+  }
+  EXPECT_TRUE(saw_external);
+  EXPECT_TRUE(saw_internal);
+}
+
+TEST(FlowSim, SequenceSpaceIsContiguousWithoutLoss) {
+  const trace::Trace trace = simulate_flow(clean_profile(30));
+  // Outbound data seq numbers must tile [isn+1, isn+1+bytes) exactly once.
+  std::map<SeqNum, SeqNum> ranges;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      EXPECT_TRUE(ranges.emplace(p.seq, p.expected_ack()).second)
+          << "duplicate segment without loss";
+    }
+  }
+  SeqNum expected = 1001;  // default isn_client + SYN
+  for (const auto& [start, end] : ranges) {
+    EXPECT_EQ(start, expected);
+    expected = end;
+  }
+}
+
+TEST(FlowSim, CumulativeAcksReduceAckCount) {
+  FlowProfile every = clean_profile(40);
+  every.ack_every = 1;
+  FlowProfile second = clean_profile(40);
+  second.ack_every = 2;
+
+  auto count_server_acks = [](const trace::Trace& trace) {
+    std::size_t n = 0;
+    for (const auto& p : trace.packets()) {
+      if (!p.outbound && p.is_ack() && p.payload == 0) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_server_acks(simulate_flow(every)),
+            count_server_acks(simulate_flow(second)));
+}
+
+TEST(FlowSim, LossProducesRetransmissions) {
+  FlowProfile profile = clean_profile(200);
+  profile.loss_receiver_side = 0.08;
+  profile.seed = 5;
+  const trace::Trace trace = simulate_flow(profile);
+
+  std::set<SeqNum> seen;
+  bool duplicate = false;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      duplicate |= !seen.insert(p.seq).second;
+    }
+  }
+  EXPECT_TRUE(duplicate) << "8% loss must force retransmissions";
+
+  // Karn: truth never contains a sample for a retransmitted range, so truth
+  // count is strictly below the segment count.
+  std::size_t external_truth = 0;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) ++external_truth;
+  }
+  EXPECT_LT(external_truth, 201U);
+  EXPECT_GT(external_truth, 100U) << "most segments still sampleable";
+}
+
+TEST(FlowSim, TruthRttNeverNegativeOrZero) {
+  FlowProfile profile = clean_profile(100);
+  profile.loss_receiver_side = 0.05;
+  profile.loss_sender_side = 0.02;
+  profile.reorder_prob = 0.05;
+  profile.seed = 9;
+  const trace::Trace trace = simulate_flow(profile);
+  for (const auto& sample : trace.truth()) {
+    EXPECT_GT(sample.ack_ts, sample.seq_ts);
+  }
+}
+
+TEST(FlowSim, ReorderingShufflesMonitorObservations) {
+  FlowProfile profile = clean_profile(200);
+  profile.reorder_prob = 0.2;
+  profile.reorder_extra = msec(30);
+  profile.seed = 3;
+  const trace::Trace trace = simulate_flow(profile);
+  bool out_of_order = false;
+  SeqNum highest = 0;
+  bool first = true;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      if (!first && seq_lt(p.seq, highest)) out_of_order = true;
+      if (first || seq_gt(p.seq, highest)) highest = p.seq;
+      first = false;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(FlowSim, NoReorderingWithoutImpairments) {
+  const trace::Trace trace = simulate_flow(clean_profile(100));
+  SeqNum highest = 0;
+  bool first = true;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      if (!first) EXPECT_TRUE(seq_gt(p.seq, highest));
+      highest = p.seq;
+      first = false;
+    }
+  }
+}
+
+TEST(FlowSim, AckSpikeCreatesLongTailSamples) {
+  // Models the paper's Figure 9c long tail: the monitor misses the original
+  // ACK; the first acknowledgment it sees is a keep-alive re-ACK seconds
+  // later. A long sample materializes when the stall covers the flow's
+  // final exchange (an idle connection), so spike every ACK here.
+  FlowProfile profile = clean_profile(100);
+  profile.ack_spike_prob = 1.0;
+  profile.ack_spike_delay = sec(2);
+  profile.seed = 11;
+  const trace::Trace trace = simulate_flow(profile);
+  bool long_sample = false;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple && sample.rtt() >= sec(1)) long_sample = true;
+  }
+  EXPECT_TRUE(long_sample);
+}
+
+TEST(FlowSim, WireSequenceNumbersWrapAround) {
+  FlowProfile profile = clean_profile(50);
+  profile.isn_client = 0xFFFFB000U;  // wraps after ~14 segments
+  const trace::Trace trace = simulate_flow(profile);
+  bool low_seq_seen = false;
+  bool high_seq_seen = false;
+  for (const auto& p : trace.packets()) {
+    if (p.outbound && p.payload > 0) {
+      if (p.seq > 0xFF000000U) high_seq_seen = true;
+      if (p.seq < 0x00100000U) low_seq_seen = true;
+    }
+  }
+  EXPECT_TRUE(high_seq_seen);
+  EXPECT_TRUE(low_seq_seen);
+  // Truth is computed in unwrapped space: one sample per SYN+segment+FIN.
+  std::size_t external_truth = 0;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) ++external_truth;
+  }
+  EXPECT_EQ(external_truth, 52U);
+}
+
+TEST(FlowSim, OptimisticAcksAppearButNotInTruth) {
+  FlowProfile profile = clean_profile(60);
+  profile.optimistic_ack_prob = 0.5;
+  profile.seed = 17;
+  const trace::Trace trace = simulate_flow(profile);
+  // Truth RTTs stay exact: optimistic ACKs are excluded from ground truth.
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) {
+      EXPECT_NEAR(static_cast<double>(sample.rtt()),
+                  static_cast<double>(msec(20)), 1000.0);
+    }
+  }
+}
+
+TEST(FlowSim, AbortedFlowLeavesDataUnacked) {
+  FlowProfile profile = clean_profile(30);
+  profile.fin_teardown = false;
+  const trace::Trace trace = simulate_flow(profile);
+  bool fin_seen = false;
+  for (const auto& p : trace.packets()) fin_seen |= p.is_fin();
+  EXPECT_FALSE(fin_seen);
+}
+
+TEST(FlowSim, SilentPeerCapsSynRetries) {
+  FlowProfile profile = clean_profile(10);
+  profile.complete_handshake = false;
+  profile.syn_retries = 3;
+  const trace::Trace trace = simulate_flow(profile);
+  EXPECT_EQ(trace.size(), 4U);  // SYN + 3 retries
+  for (const auto& p : trace.packets()) {
+    EXPECT_TRUE(p.is_syn());
+    EXPECT_FALSE(p.is_ack());
+  }
+  EXPECT_TRUE(trace.truth().empty());
+}
+
+TEST(FlowSim, JitterKeepsRttAboveFloor) {
+  FlowProfile profile = clean_profile(100);
+  profile.external = jitter_rtt(msec(20), 0.3);
+  profile.seed = 23;
+  const trace::Trace trace = simulate_flow(profile);
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple == kTuple) {
+      EXPECT_GE(sample.rtt(), from_ms(18.0));  // floor = base * 0.9
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dart::gen

@@ -1,0 +1,100 @@
+#include "gen/rtt_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::gen {
+namespace {
+
+TEST(ConstantRtt, AlwaysReturnsSameValue) {
+  Rng rng(1);
+  const auto model = constant_rtt(msec(25));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model->sample(sec(i), rng), msec(25));
+  }
+  EXPECT_EQ(model->floor(0), msec(25));
+}
+
+TEST(JitterRtt, RespectsFloorAndVaries) {
+  Rng rng(2);
+  const auto model = jitter_rtt(msec(20), 0.2);
+  Timestamp lo = ~Timestamp{0};
+  Timestamp hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Timestamp s = model->sample(0, rng);
+    EXPECT_GE(s, model->floor(0));
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, msec(20));  // min_factor allows dips to 0.9x
+  EXPECT_GT(hi, msec(22));  // and jitter pushes above base
+}
+
+TEST(JitterRtt, MedianNearBase) {
+  Rng rng(3);
+  const auto model = jitter_rtt(msec(20), 0.1);
+  std::vector<Timestamp> samples(5001);
+  for (auto& s : samples) s = model->sample(0, rng);
+  std::nth_element(samples.begin(), samples.begin() + 2500, samples.end());
+  EXPECT_NEAR(to_ms(samples[2500]), 20.0, 1.0);
+}
+
+TEST(StepRtt, SwitchesAtAttackTime) {
+  Rng rng(4);
+  const auto model =
+      step_rtt(constant_rtt(msec(25)), constant_rtt(msec(120)), sec(36));
+  EXPECT_EQ(model->sample(sec(35), rng), msec(25));
+  EXPECT_EQ(model->sample(sec(36), rng), msec(120));
+  EXPECT_EQ(model->sample(sec(80), rng), msec(120));
+  EXPECT_EQ(model->floor(sec(10)), msec(25));
+  EXPECT_EQ(model->floor(sec(40)), msec(120));
+}
+
+TEST(RampRtt, SawtoothRisesAndResets) {
+  Rng rng(5);
+  const auto model = ramp_rtt(msec(40), msec(160), sec(20), 0.0);
+  const Timestamp early = model->floor(sec(1));
+  const Timestamp late = model->floor(sec(19));
+  const Timestamp reset = model->floor(sec(20));  // new period
+  EXPECT_LT(early, late);
+  EXPECT_LT(reset, late);
+  EXPECT_GE(early, msec(40));
+  EXPECT_LE(late, msec(200));
+}
+
+TEST(RampRtt, SampleAtLeastFloor) {
+  Rng rng(6);
+  const auto model = ramp_rtt(msec(40), msec(160), sec(20), 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp t = msec(i * 37);
+    EXPECT_GE(model->sample(t, rng), model->floor(t));
+  }
+}
+
+TEST(SumRtt, AddsSegments) {
+  Rng rng(7);
+  const auto model = sum_rtt(constant_rtt(msec(10)), constant_rtt(msec(26)));
+  EXPECT_EQ(model->sample(0, rng), msec(36));
+  EXPECT_EQ(model->floor(0), msec(36));
+}
+
+TEST(SumRtt, ComposesWithTimeVaryingModels) {
+  Rng rng(8);
+  const auto model = sum_rtt(
+      constant_rtt(msec(4)),
+      step_rtt(constant_rtt(msec(10)), constant_rtt(msec(70)), sec(30)));
+  EXPECT_EQ(model->sample(sec(10), rng), msec(14));
+  EXPECT_EQ(model->sample(sec(40), rng), msec(74));
+}
+
+TEST(SumRtt, FloorIsSumOfFloors) {
+  Rng rng(9);
+  const auto model =
+      sum_rtt(jitter_rtt(msec(10), 0.1), jitter_rtt(msec(20), 0.1));
+  EXPECT_EQ(model->floor(0), from_ms(9.0) + from_ms(18.0));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(model->sample(0, rng), model->floor(0));
+  }
+}
+
+}  // namespace
+}  // namespace dart::gen

@@ -1,0 +1,147 @@
+#include "gen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/trace_stats.hpp"
+
+namespace dart::gen {
+namespace {
+
+CampusConfig small_campus() {
+  CampusConfig config;
+  config.connections = 800;
+  config.duration = sec(10);
+  return config;
+}
+
+TEST(Campus, DeterministicFromSeed) {
+  const trace::Trace a = build_campus(small_campus());
+  const trace::Trace b = build_campus(small_campus());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.packets().front(), b.packets().front());
+  EXPECT_EQ(a.packets().back(), b.packets().back());
+}
+
+TEST(Campus, SeedChangesTrace) {
+  CampusConfig other = small_campus();
+  other.seed = 99;
+  EXPECT_NE(build_campus(small_campus()).size(),
+            build_campus(other).size());
+}
+
+TEST(Campus, TimeOrderedAndNonEmpty) {
+  const trace::Trace trace = build_campus(small_campus());
+  EXPECT_GT(trace.size(), 2000U);
+  EXPECT_TRUE(trace.is_time_ordered());
+  EXPECT_FALSE(trace.truth().empty());
+}
+
+TEST(Campus, IncompleteHandshakeShareMatchesConfig) {
+  const trace::Trace trace = build_campus(small_campus());
+  const trace::TraceStats stats = compute_stats(trace);
+  const double incomplete =
+      static_cast<double>(stats.incomplete_handshakes()) /
+      static_cast<double>(stats.connections);
+  // Configured 72.5% (paper, Figure 10); allow sampling noise.
+  EXPECT_NEAR(incomplete, 0.725, 0.05);
+}
+
+TEST(Campus, ClientsComeFromConfiguredSubnets) {
+  const CampusConfig config = small_campus();
+  const trace::Trace trace = build_campus(config);
+  for (const auto& p : trace.packets()) {
+    const Ipv4Addr client = p.outbound ? p.tuple.src_ip : p.tuple.dst_ip;
+    EXPECT_TRUE(config.wired_subnet.contains(client) ||
+                config.wireless_subnet.contains(client) ||
+                Ipv4Prefix(Ipv4Addr{10, 0, 0, 0}, 8).contains(client))
+        << client.to_string();
+  }
+}
+
+TEST(Campus, WirelessInternalRttsExceedWired) {
+  CampusConfig config = small_campus();
+  config.connections = 1500;
+  config.wireless_fraction = 0.5;
+  const trace::Trace trace = build_campus(config);
+
+  double wired_sum = 0.0;
+  double wireless_sum = 0.0;
+  std::size_t wired_n = 0;
+  std::size_t wireless_n = 0;
+  for (const auto& sample : trace.truth()) {
+    // Internal-leg truth has the server as source (inbound data direction).
+    const Ipv4Addr client = sample.tuple.dst_ip;
+    if (config.wired_subnet.contains(client)) {
+      wired_sum += to_ms(sample.rtt());
+      ++wired_n;
+    } else if (config.wireless_subnet.contains(client)) {
+      wireless_sum += to_ms(sample.rtt());
+      ++wireless_n;
+    }
+  }
+  ASSERT_GT(wired_n, 50U);
+  ASSERT_GT(wireless_n, 50U);
+  EXPECT_GT(wireless_sum / wireless_n, 2.0 * (wired_sum / wired_n));
+}
+
+TEST(SynFlood, OnlySynsNoState) {
+  SynFloodConfig config;
+  config.syn_count = 2000;
+  const trace::Trace trace = build_syn_flood(config);
+  EXPECT_GE(trace.size(), 2000U);
+  for (const auto& p : trace.packets()) {
+    EXPECT_TRUE(p.is_syn());
+    EXPECT_EQ(p.tuple.dst_ip, config.victim);
+  }
+  EXPECT_TRUE(trace.truth().empty());
+}
+
+TEST(SynFlood, SourcesAreSpread) {
+  const trace::Trace trace = build_syn_flood(SynFloodConfig{});
+  std::unordered_set<std::uint32_t> sources;
+  for (const auto& p : trace.packets()) sources.insert(p.tuple.src_ip.value());
+  EXPECT_GT(sources.size(), trace.size() / 2);
+}
+
+TEST(Interception, RttStepsUpAtAttackTime) {
+  InterceptionConfig config;
+  const trace::Trace trace = build_interception(config);
+  double pre_max = 0.0;
+  double post_min = 1e9;
+  for (const auto& sample : trace.truth()) {
+    if (sample.tuple != interception_tuple()) continue;
+    const double ms = to_ms(sample.rtt());
+    if (sample.seq_ts < config.attack_time - sec(1)) {
+      pre_max = std::max(pre_max, ms);
+    } else if (sample.seq_ts > config.attack_time + sec(1)) {
+      post_min = std::min(post_min, ms);
+    }
+  }
+  EXPECT_LT(pre_max, 60.0);
+  EXPECT_GT(post_min, 90.0);
+}
+
+TEST(Interception, FlowSpansTheFullDuration) {
+  InterceptionConfig config;
+  const trace::Trace trace = build_interception(config);
+  EXPECT_GT(trace.packets().back().ts, config.duration - sec(10));
+}
+
+TEST(Bufferbloat, RttOscillates) {
+  BufferbloatConfig config;
+  const trace::Trace trace = build_bufferbloat(config);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (const auto& sample : trace.truth()) {
+    const double ms = to_ms(sample.rtt());
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  EXPECT_LT(lo, config.base_rtt_ms * 1.8);
+  EXPECT_GT(hi, config.base_rtt_ms + config.bloat_amplitude_ms * 0.5);
+}
+
+}  // namespace
+}  // namespace dart::gen

@@ -1,0 +1,171 @@
+// Metamorphic and invariant properties of the monitors — relations that
+// must hold for ANY workload, checked on randomized generator output.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/tcptrace_const.hpp"
+#include "core/dart_monitor.hpp"
+#include "gen/workload.hpp"
+#include "trace/trace_io.hpp"
+
+#include <sstream>
+
+namespace dart {
+namespace {
+
+using core::DartConfig;
+using core::DartMonitor;
+using core::RttSample;
+
+trace::Trace workload(std::uint64_t seed) {
+  gen::CampusConfig config;
+  config.connections = 1200;
+  config.duration = sec(8);
+  config.seed = seed;
+  return gen::build_campus(config);
+}
+
+std::vector<RttSample> run(const trace::Trace& trace,
+                           const DartConfig& config) {
+  std::vector<RttSample> samples;
+  DartMonitor dart(config, [&samples](const RttSample& sample) {
+    samples.push_back(sample);
+  });
+  dart.process_all(trace.packets());
+  return samples;
+}
+
+using SampleKey = std::tuple<std::uint64_t, SeqNum, Timestamp, Timestamp>;
+
+SampleKey key_of(const RttSample& sample) {
+  return {hash_tuple(sample.tuple), sample.eack, sample.seq_ts,
+          sample.ack_ts};
+}
+
+class MonitorProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorProperties,
+                         ::testing::Values(1u, 7u, 1234u, 987654u));
+
+TEST_P(MonitorProperties, SamplesAreNeverNegativeOrZero) {
+  const trace::Trace trace = workload(GetParam());
+  DartConfig config;
+  config.rt_size = 1 << 12;
+  config.pt_size = 1 << 10;
+  for (const RttSample& sample : run(trace, config)) {
+    EXPECT_LT(sample.seq_ts, sample.ack_ts);
+  }
+}
+
+TEST_P(MonitorProperties, BoundedSamplesAreSubsetOfUnbounded) {
+  // Memory pressure may only LOSE samples, never invent or alter them: the
+  // RT is kept unbounded in both runs, so every bounded-PT sample must
+  // appear, timestamps identical, in the unbounded run.
+  const trace::Trace trace = workload(GetParam());
+  DartConfig unbounded = baseline::tcptrace_const_config(false);
+  DartConfig bounded = unbounded;
+  bounded.pt_size = 1 << 9;
+  bounded.pt_stages = 2;
+  bounded.max_recirculations = 2;
+
+  std::set<SampleKey> unbounded_keys;
+  for (const RttSample& s : run(trace, unbounded)) {
+    unbounded_keys.insert(key_of(s));
+  }
+  for (const RttSample& s : run(trace, bounded)) {
+    EXPECT_TRUE(unbounded_keys.count(key_of(s)))
+        << "bounded run invented a sample";
+  }
+}
+
+TEST_P(MonitorProperties, HashSeedDoesNotAffectUnboundedResults) {
+  const trace::Trace trace = workload(GetParam());
+  DartConfig a = baseline::tcptrace_const_config(false);
+  DartConfig b = a;
+  b.hash_seed = 0xFEEDFACE;
+  const auto sa = run(trace, a);
+  const auto sb = run(trace, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(key_of(sa[i]), key_of(sb[i]));
+  }
+}
+
+TEST_P(MonitorProperties, PerFlowResultsIndependentOfInterleaving) {
+  // Processing flows merged or one-by-one must give identical per-flow
+  // samples when memory is unbounded (flows share no state).
+  gen::CampusConfig config;
+  config.connections = 60;
+  config.duration = sec(5);
+  config.seed = GetParam() ^ 0xABC;
+  const trace::Trace merged = gen::build_campus(config);
+
+  // Merged run.
+  std::map<std::uint64_t, std::vector<SampleKey>> merged_by_flow;
+  for (const RttSample& s :
+       run(merged, baseline::tcptrace_const_config(false))) {
+    merged_by_flow[hash_tuple(s.tuple)].push_back(key_of(s));
+  }
+
+  // Split the merged trace by connection and replay each alone.
+  std::map<std::uint64_t, trace::Trace> per_flow;
+  for (const PacketRecord& p : merged.packets()) {
+    per_flow[hash_tuple(p.tuple.canonical())].add(p);
+  }
+  std::map<std::uint64_t, std::vector<SampleKey>> solo_by_flow;
+  for (const auto& [flow, flow_trace] : per_flow) {
+    for (const RttSample& s :
+         run(flow_trace, baseline::tcptrace_const_config(false))) {
+      solo_by_flow[hash_tuple(s.tuple)].push_back(key_of(s));
+    }
+  }
+  EXPECT_EQ(merged_by_flow, solo_by_flow);
+}
+
+TEST_P(MonitorProperties, BinaryRoundTripPreservesMonitorResults) {
+  const trace::Trace trace = workload(GetParam());
+  std::stringstream buffer;
+  ASSERT_TRUE(trace::write_binary(trace, buffer));
+  const auto loaded = trace::read_binary(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  DartConfig config;
+  config.rt_size = 1 << 12;
+  config.pt_size = 1 << 10;
+  const auto original = run(trace, config);
+  const auto replayed = run(*loaded, config);
+  ASSERT_EQ(original.size(), replayed.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(key_of(original[i]), key_of(replayed[i]));
+  }
+}
+
+TEST_P(MonitorProperties, StatsAreInternallyConsistent) {
+  const trace::Trace trace = workload(GetParam());
+  DartConfig config;
+  config.rt_size = 1 << 12;
+  config.pt_size = 1 << 9;
+  config.pt_stages = 2;
+  config.max_recirculations = 3;
+  DartMonitor dart(config);
+  dart.process_all(trace.packets());
+  const core::DartStats& s = dart.stats();
+
+  EXPECT_EQ(s.samples, s.pt_lookup_hits);
+  EXPECT_EQ(s.ack_advances,
+            s.pt_lookup_hits + s.pt_lookup_misses);
+  // Every eviction is resolved exactly once: re-inserted (another eviction
+  // or a store) or dropped for a counted reason.
+  EXPECT_EQ(s.pt_evictions,
+            s.recirculations + s.drops_budget + s.drops_cycle +
+                s.drops_useless + s.drops_shadow)
+      << "evictions must be fully accounted (recirculated or dropped)";
+  // Stale self-destructions happen only after a recirculation.
+  EXPECT_LE(s.drops_stale, s.recirculations);
+  EXPECT_EQ(s.drops_policy, 0U) << "policy drops require kNeverEvict";
+}
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,66 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/flow_sim.hpp"
+#include "gen/rtt_model.hpp"
+
+namespace dart::trace {
+namespace {
+
+gen::FlowProfile basic_profile() {
+  gen::FlowProfile profile;
+  profile.tuple = FourTuple{Ipv4Addr{10, 8, 0, 1}, Ipv4Addr{23, 52, 1, 1},
+                            40000, 443};
+  profile.internal = gen::constant_rtt(msec(1));
+  profile.external = gen::constant_rtt(msec(20));
+  profile.bytes_up = 10 * 1460;
+  profile.bytes_down = 5 * 1460;
+  return profile;
+}
+
+TEST(TraceStats, CountsCompleteHandshake) {
+  const Trace trace = gen::simulate_flow(basic_profile());
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.connections, 1U);
+  EXPECT_EQ(stats.complete_handshakes, 1U);
+  EXPECT_EQ(stats.incomplete_handshakes(), 0U);
+  EXPECT_EQ(stats.syn_packets, 2U);  // SYN + SYN-ACK
+  EXPECT_GT(stats.data_packets, 10U);
+  EXPECT_GT(stats.pure_acks, 0U);
+  EXPECT_EQ(stats.packets, trace.size());
+}
+
+TEST(TraceStats, CountsIncompleteHandshake) {
+  gen::FlowProfile profile = basic_profile();
+  profile.complete_handshake = false;
+  profile.syn_retries = 2;
+  const Trace trace = gen::simulate_flow(profile);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.connections, 1U);
+  EXPECT_EQ(stats.complete_handshakes, 0U);
+  EXPECT_EQ(stats.incomplete_handshakes(), 1U);
+  // SYN plus its retransmissions, nothing else.
+  EXPECT_EQ(stats.packets, 3U);
+  EXPECT_EQ(stats.syn_packets, 3U);
+}
+
+TEST(TraceStats, DurationAndRate) {
+  TraceStats stats;
+  stats.packets = 1000;
+  stats.first_ts = sec(1);
+  stats.last_ts = sec(3);
+  EXPECT_EQ(stats.duration(), sec(2));
+  EXPECT_DOUBLE_EQ(stats.packets_per_second(), 500.0);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZero) {
+  const TraceStats stats = compute_stats(Trace{});
+  EXPECT_EQ(stats.packets, 0U);
+  EXPECT_EQ(stats.connections, 0U);
+  EXPECT_EQ(stats.duration(), 0U);
+  EXPECT_DOUBLE_EQ(stats.packets_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace dart::trace

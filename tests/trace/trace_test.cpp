@@ -1,0 +1,82 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dart::trace {
+namespace {
+
+PacketRecord at(Timestamp ts) {
+  PacketRecord p;
+  p.ts = ts;
+  return p;
+}
+
+TEST(Trace, SortByTimeIsStable) {
+  Trace trace;
+  PacketRecord a = at(100);
+  a.seq = 1;
+  PacketRecord b = at(100);
+  b.seq = 2;
+  trace.add(at(300));
+  trace.add(a);
+  trace.add(b);
+  trace.sort_by_time();
+  ASSERT_EQ(trace.size(), 3U);
+  EXPECT_EQ(trace.packets()[0].seq, 1U);
+  EXPECT_EQ(trace.packets()[1].seq, 2U);
+  EXPECT_EQ(trace.packets()[2].ts, 300U);
+  EXPECT_TRUE(trace.is_time_ordered());
+}
+
+TEST(Trace, IsTimeOrderedDetectsRegression) {
+  Trace trace;
+  trace.add(at(200));
+  trace.add(at(100));
+  EXPECT_FALSE(trace.is_time_ordered());
+}
+
+TEST(Trace, MergeInterleavesByTimestamp) {
+  Trace a;
+  a.add(at(10));
+  a.add(at(30));
+  Trace b;
+  b.add(at(20));
+  b.add(at(40));
+  Trace merged = merge({a, b});
+  ASSERT_EQ(merged.size(), 4U);
+  EXPECT_TRUE(merged.is_time_ordered());
+  EXPECT_EQ(merged.packets()[0].ts, 10U);
+  EXPECT_EQ(merged.packets()[3].ts, 40U);
+}
+
+TEST(Trace, MergeHandlesEmptyInputs) {
+  Trace empty;
+  Trace one;
+  one.add(at(5));
+  Trace merged = merge({empty, one, Trace{}});
+  EXPECT_EQ(merged.size(), 1U);
+}
+
+TEST(Trace, MergeCombinesTruth) {
+  Trace a;
+  TruthSample s1;
+  s1.seq_ts = 50;
+  a.add_truth(s1);
+  Trace b;
+  TruthSample s2;
+  s2.seq_ts = 10;
+  b.add_truth(s2);
+  Trace merged = merge({a, b});
+  ASSERT_EQ(merged.truth().size(), 2U);
+  EXPECT_EQ(merged.truth()[0].seq_ts, 10U);  // sorted by SEQ time
+}
+
+TEST(TruthSample, RttIsAckMinusSeq) {
+  TruthSample s;
+  s.seq_ts = msec(10);
+  s.ack_ts = msec(35);
+  EXPECT_EQ(s.rtt(), msec(25));
+}
+
+}  // namespace
+}  // namespace dart::trace
