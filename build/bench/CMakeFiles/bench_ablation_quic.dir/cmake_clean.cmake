@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quic.dir/bench_ablation_quic.cpp.o"
+  "CMakeFiles/bench_ablation_quic.dir/bench_ablation_quic.cpp.o.d"
+  "bench_ablation_quic"
+  "bench_ablation_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shadow.dir/bench_ablation_shadow.cpp.o"
+  "CMakeFiles/bench_ablation_shadow.dir/bench_ablation_shadow.cpp.o.d"
+  "bench_ablation_shadow"
+  "bench_ablation_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_usefulness.dir/bench_ablation_usefulness.cpp.o"
+  "CMakeFiles/bench_ablation_usefulness.dir/bench_ablation_usefulness.cpp.o.d"
+  "bench_ablation_usefulness"
+  "bench_ablation_usefulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_usefulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_handshake.dir/bench_fig10_handshake.cpp.o"
+  "CMakeFiles/bench_fig10_handshake.dir/bench_fig10_handshake.cpp.o.d"
+  "bench_fig10_handshake"
+  "bench_fig10_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pt_stages.dir/bench_fig12_pt_stages.cpp.o"
+  "CMakeFiles/bench_fig12_pt_stages.dir/bench_fig12_pt_stages.cpp.o.d"
+  "bench_fig12_pt_stages"
+  "bench_fig12_pt_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pt_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_recirculations.dir/bench_fig13_recirculations.cpp.o"
+  "CMakeFiles/bench_fig13_recirculations.dir/bench_fig13_recirculations.cpp.o.d"
+  "bench_fig13_recirculations"
+  "bench_fig13_recirculations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_recirculations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_interception.dir/bench_fig8_interception.cpp.o"
+  "CMakeFiles/bench_fig8_interception.dir/bench_fig8_interception.cpp.o.d"
+  "bench_fig8_interception"
+  "bench_fig8_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

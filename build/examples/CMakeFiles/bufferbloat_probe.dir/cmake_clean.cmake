@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufferbloat_probe.dir/bufferbloat_probe.cpp.o"
+  "CMakeFiles/bufferbloat_probe.dir/bufferbloat_probe.cpp.o.d"
+  "bufferbloat_probe"
+  "bufferbloat_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufferbloat_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

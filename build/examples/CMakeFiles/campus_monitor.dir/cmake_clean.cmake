@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_monitor.dir/campus_monitor.cpp.o"
+  "CMakeFiles/campus_monitor.dir/campus_monitor.cpp.o.d"
+  "campus_monitor"
+  "campus_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_watch.dir/congestion_watch.cpp.o"
+  "CMakeFiles/congestion_watch.dir/congestion_watch.cpp.o.d"
+  "congestion_watch"
+  "congestion_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

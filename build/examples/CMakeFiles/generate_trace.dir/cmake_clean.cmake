@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_trace.dir/generate_trace.cpp.o"
+  "CMakeFiles/generate_trace.dir/generate_trace.cpp.o.d"
+  "generate_trace"
+  "generate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interception_detection.dir/interception_detection.cpp.o"
+  "CMakeFiles/interception_detection.dir/interception_detection.cpp.o.d"
+  "interception_detection"
+  "interception_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interception_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_localization.dir/path_localization.cpp.o"
+  "CMakeFiles/path_localization.dir/path_localization.cpp.o.d"
+  "path_localization"
+  "path_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_selection.dir/server_selection.cpp.o"
+  "CMakeFiles/server_selection.dir/server_selection.cpp.o.d"
+  "server_selection"
+  "server_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/change_detector.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/change_detector.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/change_detector.cpp.o.d"
+  "/root/repo/src/analytics/congestion.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/congestion.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/congestion.cpp.o.d"
+  "/root/repo/src/analytics/histogram.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/histogram.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/histogram.cpp.o.d"
+  "/root/repo/src/analytics/metrics.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/metrics.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/metrics.cpp.o.d"
+  "/root/repo/src/analytics/min_filter.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/min_filter.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/min_filter.cpp.o.d"
+  "/root/repo/src/analytics/percentile.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/percentile.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/percentile.cpp.o.d"
+  "/root/repo/src/analytics/prefix_agg.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/prefix_agg.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/prefix_agg.cpp.o.d"
+  "/root/repo/src/analytics/prefix_detector.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/prefix_detector.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/prefix_detector.cpp.o.d"
+  "/root/repo/src/analytics/sample_log.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/sample_log.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/sample_log.cpp.o.d"
+  "/root/repo/src/analytics/usefulness.cpp" "src/analytics/CMakeFiles/dart_analytics.dir/usefulness.cpp.o" "gcc" "src/analytics/CMakeFiles/dart_analytics.dir/usefulness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

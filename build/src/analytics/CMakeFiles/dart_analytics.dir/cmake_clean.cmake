@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_analytics.dir/change_detector.cpp.o"
+  "CMakeFiles/dart_analytics.dir/change_detector.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/congestion.cpp.o"
+  "CMakeFiles/dart_analytics.dir/congestion.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/histogram.cpp.o"
+  "CMakeFiles/dart_analytics.dir/histogram.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/metrics.cpp.o"
+  "CMakeFiles/dart_analytics.dir/metrics.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/min_filter.cpp.o"
+  "CMakeFiles/dart_analytics.dir/min_filter.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/percentile.cpp.o"
+  "CMakeFiles/dart_analytics.dir/percentile.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/prefix_agg.cpp.o"
+  "CMakeFiles/dart_analytics.dir/prefix_agg.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/prefix_detector.cpp.o"
+  "CMakeFiles/dart_analytics.dir/prefix_detector.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/sample_log.cpp.o"
+  "CMakeFiles/dart_analytics.dir/sample_log.cpp.o.d"
+  "CMakeFiles/dart_analytics.dir/usefulness.cpp.o"
+  "CMakeFiles/dart_analytics.dir/usefulness.cpp.o.d"
+  "libdart_analytics.a"
+  "libdart_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

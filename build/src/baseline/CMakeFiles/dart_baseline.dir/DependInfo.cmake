@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dapper.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/dapper.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/dapper.cpp.o.d"
+  "/root/repo/src/baseline/strawman.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/strawman.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/strawman.cpp.o.d"
+  "/root/repo/src/baseline/tcptrace.cpp" "src/baseline/CMakeFiles/dart_baseline.dir/tcptrace.cpp.o" "gcc" "src/baseline/CMakeFiles/dart_baseline.dir/tcptrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

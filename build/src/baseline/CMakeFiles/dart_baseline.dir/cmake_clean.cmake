@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_baseline.dir/dapper.cpp.o"
+  "CMakeFiles/dart_baseline.dir/dapper.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/strawman.cpp.o"
+  "CMakeFiles/dart_baseline.dir/strawman.cpp.o.d"
+  "CMakeFiles/dart_baseline.dir/tcptrace.cpp.o"
+  "CMakeFiles/dart_baseline.dir/tcptrace.cpp.o.d"
+  "libdart_baseline.a"
+  "libdart_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

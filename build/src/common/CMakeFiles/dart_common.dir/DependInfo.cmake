@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/four_tuple.cpp" "src/common/CMakeFiles/dart_common.dir/four_tuple.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/four_tuple.cpp.o.d"
+  "/root/repo/src/common/hashing.cpp" "src/common/CMakeFiles/dart_common.dir/hashing.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/hashing.cpp.o.d"
+  "/root/repo/src/common/ipv4.cpp" "src/common/CMakeFiles/dart_common.dir/ipv4.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/ipv4.cpp.o.d"
+  "/root/repo/src/common/ipv6.cpp" "src/common/CMakeFiles/dart_common.dir/ipv6.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/ipv6.cpp.o.d"
+  "/root/repo/src/common/packet.cpp" "src/common/CMakeFiles/dart_common.dir/packet.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/packet.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/dart_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/dart_common.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

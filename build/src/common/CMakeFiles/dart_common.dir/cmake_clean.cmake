@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_common.dir/four_tuple.cpp.o"
+  "CMakeFiles/dart_common.dir/four_tuple.cpp.o.d"
+  "CMakeFiles/dart_common.dir/hashing.cpp.o"
+  "CMakeFiles/dart_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/dart_common.dir/ipv4.cpp.o"
+  "CMakeFiles/dart_common.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dart_common.dir/ipv6.cpp.o"
+  "CMakeFiles/dart_common.dir/ipv6.cpp.o.d"
+  "CMakeFiles/dart_common.dir/packet.cpp.o"
+  "CMakeFiles/dart_common.dir/packet.cpp.o.d"
+  "CMakeFiles/dart_common.dir/strings.cpp.o"
+  "CMakeFiles/dart_common.dir/strings.cpp.o.d"
+  "libdart_common.a"
+  "libdart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dart_monitor.cpp" "src/core/CMakeFiles/dart_core.dir/dart_monitor.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/dart_monitor.cpp.o.d"
+  "/root/repo/src/core/packet_tracker.cpp" "src/core/CMakeFiles/dart_core.dir/packet_tracker.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/packet_tracker.cpp.o.d"
+  "/root/repo/src/core/range_tracker.cpp" "src/core/CMakeFiles/dart_core.dir/range_tracker.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/range_tracker.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/dart_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/dart_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_core.dir/dart_monitor.cpp.o"
+  "CMakeFiles/dart_core.dir/dart_monitor.cpp.o.d"
+  "CMakeFiles/dart_core.dir/packet_tracker.cpp.o"
+  "CMakeFiles/dart_core.dir/packet_tracker.cpp.o.d"
+  "CMakeFiles/dart_core.dir/range_tracker.cpp.o"
+  "CMakeFiles/dart_core.dir/range_tracker.cpp.o.d"
+  "CMakeFiles/dart_core.dir/stats.cpp.o"
+  "CMakeFiles/dart_core.dir/stats.cpp.o.d"
+  "libdart_core.a"
+  "libdart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

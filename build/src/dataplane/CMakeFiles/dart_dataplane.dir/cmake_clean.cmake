@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_dataplane.dir/payload_lut.cpp.o"
+  "CMakeFiles/dart_dataplane.dir/payload_lut.cpp.o.d"
+  "CMakeFiles/dart_dataplane.dir/resource_model.cpp.o"
+  "CMakeFiles/dart_dataplane.dir/resource_model.cpp.o.d"
+  "libdart_dataplane.a"
+  "libdart_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/flow_sim.cpp" "src/gen/CMakeFiles/dart_gen.dir/flow_sim.cpp.o" "gcc" "src/gen/CMakeFiles/dart_gen.dir/flow_sim.cpp.o.d"
+  "/root/repo/src/gen/rtt_model.cpp" "src/gen/CMakeFiles/dart_gen.dir/rtt_model.cpp.o" "gcc" "src/gen/CMakeFiles/dart_gen.dir/rtt_model.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/gen/CMakeFiles/dart_gen.dir/workload.cpp.o" "gcc" "src/gen/CMakeFiles/dart_gen.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dart_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

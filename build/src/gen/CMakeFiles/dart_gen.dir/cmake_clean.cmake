@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_gen.dir/flow_sim.cpp.o"
+  "CMakeFiles/dart_gen.dir/flow_sim.cpp.o.d"
+  "CMakeFiles/dart_gen.dir/rtt_model.cpp.o"
+  "CMakeFiles/dart_gen.dir/rtt_model.cpp.o.d"
+  "CMakeFiles/dart_gen.dir/workload.cpp.o"
+  "CMakeFiles/dart_gen.dir/workload.cpp.o.d"
+  "libdart_gen.a"
+  "libdart_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/spin_bit.cpp" "src/quic/CMakeFiles/dart_quic.dir/spin_bit.cpp.o" "gcc" "src/quic/CMakeFiles/dart_quic.dir/spin_bit.cpp.o.d"
+  "/root/repo/src/quic/spin_flow.cpp" "src/quic/CMakeFiles/dart_quic.dir/spin_flow.cpp.o" "gcc" "src/quic/CMakeFiles/dart_quic.dir/spin_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dart_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

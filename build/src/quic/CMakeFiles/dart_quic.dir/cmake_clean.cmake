@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_quic.dir/spin_bit.cpp.o"
+  "CMakeFiles/dart_quic.dir/spin_bit.cpp.o.d"
+  "CMakeFiles/dart_quic.dir/spin_flow.cpp.o"
+  "CMakeFiles/dart_quic.dir/spin_flow.cpp.o.d"
+  "libdart_quic.a"
+  "libdart_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_trace.dir/pcap.cpp.o"
+  "CMakeFiles/dart_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/dart_trace.dir/trace.cpp.o"
+  "CMakeFiles/dart_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/dart_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dart_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dart_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/dart_trace.dir/trace_stats.cpp.o.d"
+  "libdart_trace.a"
+  "libdart_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics_edges.dir/analytics/analytics_edges_test.cpp.o"
+  "CMakeFiles/test_analytics_edges.dir/analytics/analytics_edges_test.cpp.o.d"
+  "test_analytics_edges"
+  "test_analytics_edges.pdb"
+  "test_analytics_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

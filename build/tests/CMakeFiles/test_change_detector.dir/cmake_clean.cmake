@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_change_detector.dir/analytics/change_detector_test.cpp.o"
+  "CMakeFiles/test_change_detector.dir/analytics/change_detector_test.cpp.o.d"
+  "test_change_detector"
+  "test_change_detector.pdb"
+  "test_change_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_change_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dapper.dir/baseline/dapper_test.cpp.o"
+  "CMakeFiles/test_dapper.dir/baseline/dapper_test.cpp.o.d"
+  "test_dapper"
+  "test_dapper.pdb"
+  "test_dapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

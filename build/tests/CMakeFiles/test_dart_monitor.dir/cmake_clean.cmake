@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dart_monitor.dir/core/dart_monitor_test.cpp.o"
+  "CMakeFiles/test_dart_monitor.dir/core/dart_monitor_test.cpp.o.d"
+  "test_dart_monitor"
+  "test_dart_monitor.pdb"
+  "test_dart_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dart_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

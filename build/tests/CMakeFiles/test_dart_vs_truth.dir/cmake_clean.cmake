@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dart_vs_truth.dir/integration/dart_vs_truth_test.cpp.o"
+  "CMakeFiles/test_dart_vs_truth.dir/integration/dart_vs_truth_test.cpp.o.d"
+  "test_dart_vs_truth"
+  "test_dart_vs_truth.pdb"
+  "test_dart_vs_truth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dart_vs_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

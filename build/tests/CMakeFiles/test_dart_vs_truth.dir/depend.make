@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dart_vs_truth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_filter.dir/core/flow_filter_test.cpp.o"
+  "CMakeFiles/test_flow_filter.dir/core/flow_filter_test.cpp.o.d"
+  "test_flow_filter"
+  "test_flow_filter.pdb"
+  "test_flow_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_sim.dir/gen/flow_sim_test.cpp.o"
+  "CMakeFiles/test_flow_sim.dir/gen/flow_sim_test.cpp.o.d"
+  "test_flow_sim"
+  "test_flow_sim.pdb"
+  "test_flow_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_four_tuple.dir/common/four_tuple_test.cpp.o"
+  "CMakeFiles/test_four_tuple.dir/common/four_tuple_test.cpp.o.d"
+  "test_four_tuple"
+  "test_four_tuple.pdb"
+  "test_four_tuple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_four_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

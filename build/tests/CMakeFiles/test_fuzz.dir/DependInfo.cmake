@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/test_fuzz.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_fuzz.dir/integration/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dart_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dart_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/dart_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/dart_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/dart_quic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

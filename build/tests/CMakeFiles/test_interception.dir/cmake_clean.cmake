@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interception.dir/integration/interception_test.cpp.o"
+  "CMakeFiles/test_interception.dir/integration/interception_test.cpp.o.d"
+  "test_interception"
+  "test_interception.pdb"
+  "test_interception[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

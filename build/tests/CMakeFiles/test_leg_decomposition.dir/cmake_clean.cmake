@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leg_decomposition.dir/integration/leg_decomposition_test.cpp.o"
+  "CMakeFiles/test_leg_decomposition.dir/integration/leg_decomposition_test.cpp.o.d"
+  "test_leg_decomposition"
+  "test_leg_decomposition.pdb"
+  "test_leg_decomposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leg_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_filter.dir/analytics/min_filter_test.cpp.o"
+  "CMakeFiles/test_min_filter.dir/analytics/min_filter_test.cpp.o.d"
+  "test_min_filter"
+  "test_min_filter.pdb"
+  "test_min_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

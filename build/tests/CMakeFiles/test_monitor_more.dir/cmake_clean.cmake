@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_more.dir/core/monitor_more_test.cpp.o"
+  "CMakeFiles/test_monitor_more.dir/core/monitor_more_test.cpp.o.d"
+  "test_monitor_more"
+  "test_monitor_more.pdb"
+  "test_monitor_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

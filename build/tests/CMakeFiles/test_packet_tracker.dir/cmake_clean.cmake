@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_tracker.dir/core/packet_tracker_test.cpp.o"
+  "CMakeFiles/test_packet_tracker.dir/core/packet_tracker_test.cpp.o.d"
+  "test_packet_tracker"
+  "test_packet_tracker.pdb"
+  "test_packet_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

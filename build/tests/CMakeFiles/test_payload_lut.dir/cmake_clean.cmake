@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payload_lut.dir/dataplane/payload_lut_test.cpp.o"
+  "CMakeFiles/test_payload_lut.dir/dataplane/payload_lut_test.cpp.o.d"
+  "test_payload_lut"
+  "test_payload_lut.pdb"
+  "test_payload_lut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payload_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_agg.dir/analytics/prefix_agg_test.cpp.o"
+  "CMakeFiles/test_prefix_agg.dir/analytics/prefix_agg_test.cpp.o.d"
+  "test_prefix_agg"
+  "test_prefix_agg.pdb"
+  "test_prefix_agg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_detector.dir/analytics/prefix_detector_test.cpp.o"
+  "CMakeFiles/test_prefix_detector.dir/analytics/prefix_detector_test.cpp.o.d"
+  "test_prefix_detector"
+  "test_prefix_detector.pdb"
+  "test_prefix_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_tracker.dir/core/range_tracker_test.cpp.o"
+  "CMakeFiles/test_range_tracker.dir/core/range_tracker_test.cpp.o.d"
+  "test_range_tracker"
+  "test_range_tracker.pdb"
+  "test_range_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_timeout.dir/core/rt_timeout_test.cpp.o"
+  "CMakeFiles/test_rt_timeout.dir/core/rt_timeout_test.cpp.o.d"
+  "test_rt_timeout"
+  "test_rt_timeout.pdb"
+  "test_rt_timeout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_log.dir/analytics/sample_log_test.cpp.o"
+  "CMakeFiles/test_sample_log.dir/analytics/sample_log_test.cpp.o.d"
+  "test_sample_log"
+  "test_sample_log.pdb"
+  "test_sample_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_rt.dir/core/shadow_rt_test.cpp.o"
+  "CMakeFiles/test_shadow_rt.dir/core/shadow_rt_test.cpp.o.d"
+  "test_shadow_rt"
+  "test_shadow_rt.pdb"
+  "test_shadow_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_bit.dir/quic/spin_bit_test.cpp.o"
+  "CMakeFiles/test_spin_bit.dir/quic/spin_bit_test.cpp.o.d"
+  "test_spin_bit"
+  "test_spin_bit.pdb"
+  "test_spin_bit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcptrace.dir/baseline/tcptrace_test.cpp.o"
+  "CMakeFiles/test_tcptrace.dir/baseline/tcptrace_test.cpp.o.d"
+  "test_tcptrace"
+  "test_tcptrace.pdb"
+  "test_tcptrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

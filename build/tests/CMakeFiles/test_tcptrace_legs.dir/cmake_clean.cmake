@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcptrace_legs.dir/baseline/tcptrace_legs_test.cpp.o"
+  "CMakeFiles/test_tcptrace_legs.dir/baseline/tcptrace_legs_test.cpp.o.d"
+  "test_tcptrace_legs"
+  "test_tcptrace_legs.pdb"
+  "test_tcptrace_legs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcptrace_legs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
