@@ -12,6 +12,7 @@
 #include "baseline/tcptrace.hpp"
 #include "baseline/tcptrace_const.hpp"
 #include "bench_util.hpp"
+#include "runtime/sharded_monitor.hpp"
 
 using namespace dart;
 
@@ -109,6 +110,38 @@ void BM_DapperLike(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_DapperLike)->Unit(benchmark::kMillisecond);
+
+// Shard-count sweep of the parallel replay runtime (ROADMAP "runs as fast
+// as the hardware allows"): items_per_second is aggregate Mpps; divide by
+// the 1-shard row for speedup. Flow-affinity sharding is work-conserving,
+// so on an N-core machine the sweep should approach Nx until the router
+// thread saturates; on fewer cores the extra shards only add handoff cost.
+void BM_ShardedDart(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::DartConfig config;
+    config.rt_size = 1 << 16;
+    config.pt_size = 1 << 12;
+    runtime::ShardedConfig sharded_config;
+    sharded_config.shards = shards;
+    runtime::ShardedMonitor sharded(sharded_config, config);
+    sharded.process_all(trace.packets());
+    sharded.finish();
+    benchmark::DoNotOptimize(sharded.merged_stats().samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_ShardedDart)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   for (auto _ : state) {

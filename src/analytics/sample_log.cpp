@@ -68,6 +68,24 @@ std::optional<core::RttSample> parse_row(const std::string& line) {
 
 }  // namespace
 
+void SampleLog::absorb(SampleLog&& other) {
+  if (samples_.empty()) {
+    samples_ = std::move(other.samples_);
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    other.samples_.clear();
+  }
+}
+
+bool SampleLog::write_csv(std::ostream& out) const {
+  return write_samples_csv(samples_, out);
+}
+
+bool SampleLog::write_csv_file(const std::string& path) const {
+  return write_samples_csv_file(samples_, path);
+}
+
 bool write_samples_csv(const std::vector<core::RttSample>& samples,
                        std::ostream& out) {
   out << "src_ip,src_port,dst_ip,dst_port,eack,seq_ts_ns,ack_ts_ns,rtt_ns,"

@@ -6,6 +6,7 @@
 // switch exports reports and a server runs the change detector.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -14,6 +15,36 @@
 #include "core/rtt_sample.hpp"
 
 namespace dart::analytics {
+
+/// An in-memory sample stream: the collection buffer between a monitor and
+/// the export/detection pipelines. The sharded replay runtime gives each
+/// worker a private log (single-writer, no locking); logs are merged after
+/// the workers join.
+class SampleLog {
+ public:
+  void append(const core::RttSample& sample) { samples_.push_back(sample); }
+
+  /// Sink adapter for monitor constructors. The log must outlive the
+  /// returned callback.
+  core::SampleCallback callback() {
+    return [this](const core::RttSample& sample) { append(sample); };
+  }
+
+  const std::vector<core::RttSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() { samples_.clear(); }
+
+  /// Steal `other`'s samples onto the end of this log.
+  void absorb(SampleLog&& other);
+
+  bool write_csv(std::ostream& out) const;
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<core::RttSample> samples_;
+};
 
 /// Header + one row per sample:
 ///   src_ip,src_port,dst_ip,dst_port,eack,seq_ts_ns,ack_ts_ns,rtt_ns,leg

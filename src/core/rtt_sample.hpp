@@ -21,7 +21,22 @@ struct RttSample {
   LegMode leg = LegMode::kExternal;
 
   constexpr Timestamp rtt() const { return ack_ts - seq_ts; }
+
+  friend constexpr bool operator==(const RttSample&, const RttSample&) =
+      default;
 };
+
+/// Strict weak ordering on all fields — a total order, so sorting any
+/// permutation of a sample multiset yields one canonical sequence. The
+/// sharded runtime's deterministic merge and the multiset-equality tests
+/// both rest on this.
+constexpr bool sample_less(const RttSample& lhs, const RttSample& rhs) {
+  if (lhs.seq_ts != rhs.seq_ts) return lhs.seq_ts < rhs.seq_ts;
+  if (lhs.ack_ts != rhs.ack_ts) return lhs.ack_ts < rhs.ack_ts;
+  if (!(lhs.tuple == rhs.tuple)) return lhs.tuple < rhs.tuple;
+  if (lhs.eack != rhs.eack) return lhs.eack < rhs.eack;
+  return static_cast<int>(lhs.leg) < static_cast<int>(rhs.leg);
+}
 
 using SampleCallback = std::function<void(const RttSample&)>;
 

@@ -4,6 +4,41 @@
 
 namespace dart::core {
 
+DartStats& DartStats::operator+=(const DartStats& other) {
+  packets_processed += other.packets_processed;
+  filtered_packets += other.filtered_packets;
+  seq_candidates += other.seq_candidates;
+  ack_candidates += other.ack_candidates;
+  syn_ignored += other.syn_ignored;
+  rt_new_flows += other.rt_new_flows;
+  rt_flow_overwrites += other.rt_flow_overwrites;
+  rt_idle_timeouts += other.rt_idle_timeouts;
+  seq_tracked += other.seq_tracked;
+  seq_in_order += other.seq_in_order;
+  seq_hole_reanchors += other.seq_hole_reanchors;
+  seq_retransmissions += other.seq_retransmissions;
+  wraparound_resets += other.wraparound_resets;
+  ack_advances += other.ack_advances;
+  ack_duplicates += other.ack_duplicates;
+  ack_below_left += other.ack_below_left;
+  ack_optimistic += other.ack_optimistic;
+  ack_no_entry += other.ack_no_entry;
+  pt_inserted += other.pt_inserted;
+  pt_evictions += other.pt_evictions;
+  pt_lookup_hits += other.pt_lookup_hits;
+  pt_lookup_misses += other.pt_lookup_misses;
+  recirculations += other.recirculations;
+  dual_role_recirculations += other.dual_role_recirculations;
+  drops_budget += other.drops_budget;
+  drops_stale += other.drops_stale;
+  drops_cycle += other.drops_cycle;
+  drops_useless += other.drops_useless;
+  drops_shadow += other.drops_shadow;
+  drops_policy += other.drops_policy;
+  samples += other.samples;
+  return *this;
+}
+
 std::string DartStats::summary() const {
   std::string out;
   out += "packets=" + format_count(packets_processed);

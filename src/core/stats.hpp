@@ -48,6 +48,18 @@ struct DartStats {
 
   std::uint64_t samples = 0;
 
+  /// Fold another monitor's counters into this one. Every field is a sum,
+  /// so merging per-shard stats from a flow-partitioned run reproduces the
+  /// single-monitor totals exactly (each packet is processed by exactly one
+  /// shard).
+  DartStats& operator+=(const DartStats& other);
+  DartStats& merge(const DartStats& other) { return *this += other; }
+
+  friend DartStats operator+(DartStats lhs, const DartStats& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
   double recirculations_per_packet() const {
     return packets_processed == 0
                ? 0.0

@@ -1,0 +1,16 @@
+#include "runtime/shard_router.hpp"
+
+#include "common/hashing.hpp"
+
+namespace dart::runtime {
+
+ShardRouter::ShardRouter(std::uint32_t shards, std::uint64_t seed)
+    : shards_(shards == 0 ? 1 : shards), seed_(seed) {}
+
+std::uint32_t ShardRouter::route(const FourTuple& tuple) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t h = mix64(hash_tuple(tuple.canonical()) ^ seed_);
+  return static_cast<std::uint32_t>(h % shards_);
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,35 @@
+// Flow-affinity packet routing.
+//
+// The Dart pipeline is embarrassingly parallel across connections: every
+// RT/PT lookup is keyed by the flow's 4-tuple, so any partitioning that (a)
+// sends both directions of a connection to the same shard and (b) preserves
+// the arrival order of each connection's packets leaves every per-flow
+// decision identical to a single-monitor run. The router hashes the
+// *canonical* (direction-insensitive) 4-tuple, which gives (a); a single
+// in-order producer feeding FIFO queues gives (b).
+#pragma once
+
+#include <cstdint>
+
+#include "common/four_tuple.hpp"
+
+namespace dart::runtime {
+
+class ShardRouter {
+ public:
+  /// `shards` must be >= 1. `seed` decorrelates the routing hash from the
+  /// RT/PT table hashes so shard skew and table collisions are independent.
+  ShardRouter(std::uint32_t shards, std::uint64_t seed);
+
+  /// Shard index in [0, shards) for this tuple; identical for `tuple` and
+  /// `tuple.reversed()`.
+  std::uint32_t route(const FourTuple& tuple) const;
+
+  std::uint32_t shards() const { return shards_; }
+
+ private:
+  std::uint32_t shards_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dart::runtime

@@ -1,0 +1,140 @@
+#include "runtime/sharded_monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dart::runtime {
+
+ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
+                               MonitorFactory factory)
+    : config_(config),
+      router_(config.shards == 0 ? 1 : config.shards, config.route_seed) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.queue_batches == 0) config_.queue_batches = 1;
+  start(std::move(factory));
+}
+
+ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
+                               const core::DartConfig& dart_config)
+    : ShardedMonitor(config, dart_factory(dart_config)) {}
+
+ShardedMonitor::~ShardedMonitor() { finish(); }
+
+void ShardedMonitor::start(MonitorFactory factory) {
+  shards_.reserve(config_.shards);
+  for (std::uint32_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.queue_batches);
+    // The callback writes the worker-private log: the worker thread is the
+    // only caller of monitor->process, hence the only writer.
+    shard->monitor = factory(i, shard->samples.callback());
+    shard->pending.reserve(config_.batch_size);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread(&ShardedMonitor::worker_loop,
+                                std::ref(*shard));
+  }
+}
+
+void ShardedMonitor::worker_loop(Shard& shard) {
+  PacketBatch batch;
+  for (;;) {
+    if (shard.queue.try_pop(batch)) {
+      for (const PacketRecord& packet : batch) {
+        shard.monitor->process(packet);
+      }
+      batch.clear();
+      continue;
+    }
+    if (shard.input_done.load(std::memory_order_acquire)) {
+      // The done flag was published after the router's last push, so one
+      // final drain observes every batch.
+      while (shard.queue.try_pop(batch)) {
+        for (const PacketRecord& packet : batch) {
+          shard.monitor->process(packet);
+        }
+        batch.clear();
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+  shard.final_stats = shard.monitor->stats();
+}
+
+void ShardedMonitor::flush_shard(Shard& shard) {
+  if (shard.pending.empty()) return;
+  PacketBatch batch = std::move(shard.pending);
+  shard.pending.clear();  // moved-from: restore a defined empty state
+  shard.pending.reserve(config_.batch_size);
+  while (!shard.queue.try_push(std::move(batch))) {
+    // Ring full: the shard is behind. Backpressure the router instead of
+    // buffering unboundedly.
+    std::this_thread::yield();
+  }
+}
+
+void ShardedMonitor::process(const PacketRecord& packet) {
+  assert(!finished_ && "process() after finish()");
+  Shard& shard = *shards_[router_.route(packet.tuple)];
+  shard.pending.push_back(packet);
+  if (shard.pending.size() >= config_.batch_size) flush_shard(shard);
+}
+
+void ShardedMonitor::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+void ShardedMonitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& shard : shards_) {
+    flush_shard(*shard);
+    shard->input_done.store(true, std::memory_order_release);
+  }
+  // Join only after every shard got its done flag, so workers drain in
+  // parallel rather than serially behind the first join.
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+const analytics::SampleLog& ShardedMonitor::shard_samples(
+    std::uint32_t shard) const {
+  assert(finished_ && "results require finish()");
+  return shards_[shard]->samples;
+}
+
+core::DartStats ShardedMonitor::shard_stats(std::uint32_t shard) const {
+  assert(finished_ && "results require finish()");
+  return shards_[shard]->final_stats;
+}
+
+core::DartStats ShardedMonitor::merged_stats() const {
+  assert(finished_ && "results require finish()");
+  core::DartStats merged;
+  for (const auto& shard : shards_) merged += shard->final_stats;
+  return merged;
+}
+
+std::vector<core::RttSample> ShardedMonitor::merged_samples() const {
+  assert(finished_ && "results require finish()");
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->samples.size();
+  std::vector<core::RttSample> merged;
+  merged.reserve(total);
+  for (const auto& shard : shards_) {
+    const auto& samples = shard->samples.samples();
+    merged.insert(merged.end(), samples.begin(), samples.end());
+  }
+  deterministic_order(merged);
+  return merged;
+}
+
+void deterministic_order(std::vector<core::RttSample>& samples) {
+  std::sort(samples.begin(), samples.end(), core::sample_less);
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,129 @@
+// ShardedMonitor: flow-affinity parallel replay across N worker threads.
+//
+//                      +-> [ring] -> worker 0: DartMonitor -> SampleLog 0
+//   packets -> router -+-> [ring] -> worker 1: DartMonitor -> SampleLog 1
+//                      +-> [ring] -> worker 2: DartMonitor -> SampleLog 2
+//
+// The caller's thread routes each packet by the canonical 4-tuple hash onto
+// one of N shards; each shard is a worker thread owning a private monitor
+// (no shared mutable state between shards). Handoff is batched (~256
+// packets per push) through bounded SPSC rings; a full ring backpressures
+// the router, bounding memory at O(shards * queue depth * batch).
+//
+// Determinism: both directions of a connection hash to the same shard and
+// the single router preserves arrival order into each FIFO ring, so every
+// flow sees exactly the packet subsequence — in exactly the order — it
+// would see in a single-monitor run. With per-flow monitor state (unbounded
+// tables), the merged sample stream is therefore bit-identical *as a
+// multiset* to the single-monitor reference, and merged DartStats equal the
+// reference counters; `merged_samples()` returns the canonical sorted order
+// so equal multisets compare equal as vectors. Bounded tables shared by
+// many flows break this equivalence by design (shards see different
+// collision patterns); the differential tests pin down both regimes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "analytics/sample_log.hpp"
+#include "common/packet.hpp"
+#include "core/config.hpp"
+#include "core/rtt_sample.hpp"
+#include "core/stats.hpp"
+#include "runtime/replay_monitor.hpp"
+#include "runtime/shard_router.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace dart::runtime {
+
+struct ShardedConfig {
+  /// Number of worker threads / monitor partitions (>= 1).
+  std::uint32_t shards = 1;
+
+  /// Packets accumulated per shard before a queue handoff. One push
+  /// amortizes the ring synchronization over the whole batch.
+  std::size_t batch_size = 256;
+
+  /// Bounded ring capacity per shard, in batches. A full ring stalls the
+  /// router (backpressure) rather than growing without bound.
+  std::size_t queue_batches = 64;
+
+  /// Routing hash seed; independent of the monitors' table hash seeds.
+  std::uint64_t route_seed = 0xDA27'0002;
+};
+
+class ShardedMonitor {
+ public:
+  /// Workers are started immediately; `factory` is invoked once per shard
+  /// on the constructing thread.
+  ShardedMonitor(const ShardedConfig& config, MonitorFactory factory);
+
+  /// Convenience: every shard runs a private DartMonitor with this config.
+  ShardedMonitor(const ShardedConfig& config,
+                 const core::DartConfig& dart_config);
+
+  /// Joins the workers (finish()) if the caller has not already.
+  ~ShardedMonitor();
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+
+  /// Route one packet to its shard. Caller thread only; packets must arrive
+  /// in monitor order (as for DartMonitor::process).
+  void process(const PacketRecord& packet);
+
+  /// Route a whole time-ordered stream.
+  void process_all(std::span<const PacketRecord> packets);
+
+  /// Flush partial batches, signal end-of-stream, and join all workers.
+  /// Idempotent. Results are available afterwards.
+  void finish();
+
+  std::uint32_t shards() const { return router_.shards(); }
+  const ShardedConfig& config() const { return config_; }
+
+  /// Per-shard results; valid only after finish().
+  const analytics::SampleLog& shard_samples(std::uint32_t shard) const;
+  core::DartStats shard_stats(std::uint32_t shard) const;
+
+  /// Sum of all per-shard counters; valid only after finish().
+  core::DartStats merged_stats() const;
+
+  /// All shards' samples in the canonical `sample_less` order — the
+  /// deterministic merge. Valid only after finish().
+  std::vector<core::RttSample> merged_samples() const;
+
+ private:
+  using PacketBatch = std::vector<PacketRecord>;
+
+  struct Shard {
+    explicit Shard(std::size_t queue_batches) : queue(queue_batches) {}
+
+    SpscRing<PacketBatch> queue;
+    std::unique_ptr<ReplayMonitor> monitor;  // worker-owned while running
+    analytics::SampleLog samples;            // worker-written while running
+    core::DartStats final_stats;             // written by worker before exit
+    PacketBatch pending;                     // router-side accumulation
+    std::thread thread;
+    std::atomic<bool> input_done{false};
+  };
+
+  void start(MonitorFactory factory);
+  void flush_shard(Shard& shard);
+  static void worker_loop(Shard& shard);
+
+  ShardedConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+/// Canonicalize a sample stream into the `sample_less` total order, in
+/// place. Applying this to a single-monitor run and comparing against
+/// `merged_samples()` is the multiset-equality test.
+void deterministic_order(std::vector<core::RttSample>& samples);
+
+}  // namespace dart::runtime

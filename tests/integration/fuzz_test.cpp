@@ -10,6 +10,7 @@
 #include "common/random.hpp"
 #include "core/dart_monitor.hpp"
 #include "quic/spin_bit.hpp"
+#include "runtime/sharded_monitor.hpp"
 
 namespace dart {
 namespace {
@@ -120,6 +121,41 @@ TEST_P(Fuzz, SamplesReferenceRealTimestamps) {
     EXPECT_TRUE(known.count(sample.ack_ts));
   });
   dart.process_all(packets);
+}
+
+TEST_P(Fuzz, ShardedDartSurvivesGarbage) {
+  // The sharded runtime must shrug off the same garbage as the
+  // single-threaded path: every packet processed exactly once across
+  // shards, per-shard invariants intact, samples strictly positive.
+  const auto packets = garbage(GetParam() ^ 0x444, 50000);
+  core::DartConfig config;
+  config.rt_size = 1 << 8;
+  config.pt_size = 1 << 8;
+  config.pt_stages = 4;
+  config.max_recirculations = 4;
+  config.include_syn = true;
+  config.leg = core::LegMode::kBoth;
+  config.rt_idle_timeout = msec(500);
+  config.shadow_rt = true;
+  config.shadow_sync_interval = 64;
+
+  runtime::ShardedConfig sharded_config;
+  sharded_config.shards = 4;
+  runtime::ShardedMonitor sharded(sharded_config, config);
+  sharded.process_all(packets);
+  sharded.finish();
+
+  const core::DartStats s = sharded.merged_stats();
+  EXPECT_EQ(s.packets_processed, packets.size());
+  EXPECT_EQ(s.pt_evictions,
+            (s.recirculations - s.dual_role_recirculations) +
+                s.drops_budget + s.drops_cycle + s.drops_useless +
+                s.drops_shadow);
+  std::uint64_t bad_samples = 0;
+  for (const core::RttSample& sample : sharded.merged_samples()) {
+    if (sample.ack_ts <= sample.seq_ts) ++bad_samples;
+  }
+  EXPECT_EQ(bad_samples, 0U) << "RTT samples must be strictly positive";
 }
 
 TEST(FuzzDegenerate, ZeroLengthAndExtremeValues) {
