@@ -2,14 +2,14 @@
 
 namespace dart {
 
-std::string PacketRecord::to_string() const {
-  std::string out;
+std::string PacketRecord::to_string() const {  // hotpath-ok: debug only
+  std::string out;  // hotpath-ok: debug formatting
   out += "t=" + std::to_string(ts);
   out += " " + tuple.to_string();
   out += " seq=" + std::to_string(seq);
   if (is_ack()) out += " ack=" + std::to_string(ack);
   out += " len=" + std::to_string(payload);
-  std::string flag_text;
+  std::string flag_text;  // hotpath-ok: debug formatting
   if (is_syn()) flag_text += 'S';
   if (is_fin()) flag_text += 'F';
   if (is_rst()) flag_text += 'R';

@@ -59,7 +59,7 @@ struct PacketRecord {
   /// paper's "expected ACK" (eACK), the Packet Tracker key.
   constexpr SeqNum expected_ack() const { return seq + seq_span(); }
 
-  std::string to_string() const;
+  std::string to_string() const;  // hotpath-ok: debug formatting
 
   friend constexpr bool operator==(const PacketRecord&, const PacketRecord&) =
       default;

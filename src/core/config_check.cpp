@@ -1,0 +1,70 @@
+#include "core/config_check.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "dataplane/verify/pipeline_program.hpp"
+
+namespace dart::core {
+
+namespace verify = dataplane::verify;
+
+verify::MonitorShape monitor_shape(const DartConfig& config) {
+  verify::MonitorShape shape;
+  // pt_stages is documented as ignored in unbounded mode; normalize so the
+  // emitted model stays well-formed there and the real count is checked
+  // only when it matters.
+  shape.pt_stages =
+      config.pt_size == 0 && config.pt_stages == 0 ? 1 : config.pt_stages;
+  shape.max_recirculations = config.max_recirculations;
+  shape.both_legs = config.leg == LegMode::kBoth;
+  shape.shadow_rt = config.shadow_rt;
+  shape.use_flow_filter = true;
+  shape.use_payload_lut = true;
+  return shape;
+}
+
+std::vector<verify::Diagnostic> check_config(const DartConfig& config) {
+  const verify::MonitorShape shape = monitor_shape(config);
+  std::vector<verify::Diagnostic> diags = verify::check_shape(shape);
+
+  // Core-specific geometry: a bounded PT divides its slots evenly across
+  // stages, so it needs at least one slot per stage.
+  if (config.pt_size > 0 && config.pt_stages > 0 &&
+      config.pt_size < config.pt_stages) {
+    verify::Diagnostic d;
+    d.rule = verify::Rule::kConfig;
+    d.message = "Packet Tracker has fewer slots (" +
+                std::to_string(config.pt_size) + ") than stages (" +
+                std::to_string(config.pt_stages) +
+                "); each stage needs at least one slot";
+    diags.push_back(std::move(d));
+  }
+
+  if (diags.empty()) {
+    // Structural rule check of the emitted pipeline (single access per
+    // pass, SALU confinement, recirculation termination, register width)
+    // against the unconstrained software profile.
+    dataplane::DartLayout layout;
+    layout.rt_slots = config.rt_size == 0 ? 1 : config.rt_size;
+    layout.pt_slots = config.pt_size == 0 ? 1 : config.pt_size;
+    layout.pt_stages = shape.pt_stages;
+    layout.both_legs = shape.both_legs;
+    const verify::CheckReport report = verify::check(
+        verify::emit_program(layout, shape), verify::software_profile());
+    diags.insert(diags.end(), report.diagnostics.begin(),
+                 report.diagnostics.end());
+  }
+  return diags;
+}
+
+const DartConfig& ensure_feasible(const DartConfig& config) {
+  const std::vector<verify::Diagnostic> diags = check_config(config);
+  if (!diags.empty()) {
+    throw std::invalid_argument("infeasible DartConfig:\n" +
+                                verify::format_diagnostics(diags));
+  }
+  return config;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,35 @@
+// Fail-fast construction-time validation of monitor configurations.
+//
+// DartMonitor (and therefore ShardedMonitor) refuse to construct with a
+// structurally infeasible configuration, using the same diagnostics the
+// dart-pipeline-lint tool prints: the DartConfig is mapped onto the
+// dataplane verifier's MonitorShape, the pipeline program is emitted and
+// checked against the permissive software profile (structural rules only
+// — no chip stage/budget limits), and any diagnostic becomes a
+// std::invalid_argument. Checking a deployment against a *real* chip
+// profile is the lint tool's job; a software monitor may legitimately be
+// larger than any Tofino.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "dataplane/verify/checker.hpp"
+
+namespace dart::core {
+
+/// Map a monitor config onto the dataplane verifier's shape.
+dataplane::verify::MonitorShape monitor_shape(const DartConfig& config);
+
+/// Structural diagnostics for a config (empty = constructible). Uses the
+/// verifier's rule set plus core-specific table-geometry checks.
+std::vector<dataplane::verify::Diagnostic> check_config(
+    const DartConfig& config);
+
+/// Throws std::invalid_argument carrying the formatted diagnostics when
+/// check_config(config) is nonempty; returns config unchanged otherwise,
+/// so it can be used inside a constructor's member-init list before any
+/// table is built.
+const DartConfig& ensure_feasible(const DartConfig& config);
+
+}  // namespace dart::core

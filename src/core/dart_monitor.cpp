@@ -1,9 +1,15 @@
 #include "core/dart_monitor.hpp"
 
+#include "core/config_check.hpp"
+
 namespace dart::core {
 
+// ensure_feasible runs before any table is built: an infeasible config
+// (zero PT stages, fewer PT slots than stages, ...) throws
+// std::invalid_argument carrying the pipeline checker's diagnostics —
+// the same ones dart-pipeline-lint prints.
 DartMonitor::DartMonitor(const DartConfig& config, SampleCallback on_sample)
-    : config_(config),
+    : config_(ensure_feasible(config)),
       on_sample_(std::move(on_sample)),
       rt_(config.rt_size, config.hash_seed, config.wraparound_reset,
           config.rt_idle_timeout),
@@ -12,7 +18,7 @@ DartMonitor::DartMonitor(const DartConfig& config, SampleCallback on_sample)
   if (config_.shadow_rt) {
     // Identical geometry and seed so rt_ref slot references are valid in
     // both copies.
-    shadow_rt_ = std::make_unique<RangeTracker>(
+    shadow_rt_ = std::make_unique<RangeTracker>(  // hotpath-ok: ctor only
         config_.rt_size, config_.hash_seed, config_.wraparound_reset,
         config_.rt_idle_timeout);
     shadow_backlog_.reserve(config_.shadow_sync_interval);

@@ -85,10 +85,12 @@ class VectorSink {
 /// still produce a sample the analytics cares about.
 class UsefulnessFilter {
  public:
+  // hotpath-ok: interface invoked only on PT eviction, not per packet
   virtual ~UsefulnessFilter() = default;
 
   /// True when a record whose SEQ crossed at `seq_ts`, re-evaluated at
   /// `now`, could still yield a useful sample.
+  // hotpath-ok: invoked only on PT eviction, not per packet
   virtual bool useful(Timestamp seq_ts, Timestamp now) const = 0;
 };
 

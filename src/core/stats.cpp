@@ -39,8 +39,8 @@ DartStats& DartStats::operator+=(const DartStats& other) {
   return *this;
 }
 
-std::string DartStats::summary() const {
-  std::string out;
+std::string DartStats::summary() const {  // hotpath-ok: reporting only
+  std::string out;  // hotpath-ok: end-of-run formatting
   out += "packets=" + format_count(packets_processed);
   out += " seq=" + format_count(seq_candidates);
   out += " tracked=" + format_count(seq_tracked);

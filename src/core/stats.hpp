@@ -67,7 +67,7 @@ struct DartStats {
                      static_cast<double>(packets_processed);
   }
 
-  std::string summary() const;
+  std::string summary() const;  // hotpath-ok: end-of-run reporting
 };
 
 }  // namespace dart::core

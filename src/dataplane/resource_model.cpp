@@ -11,6 +11,7 @@ TargetProfile tofino1_profile() {
   p.hash_units = 12 * 6;
   p.logical_tables = 12 * 8;
   p.input_crossbars = 12 * 16;
+  p.max_recirculations_per_packet = 4;
   return p;
 }
 
@@ -23,6 +24,7 @@ TargetProfile tofino2_profile() {
   p.hash_units = 20 * 6;
   p.logical_tables = 20 * 8;
   p.input_crossbars = 20 * 16;
+  p.max_recirculations_per_packet = 8;
   return p;
 }
 
@@ -41,28 +43,39 @@ ResourceUsage estimate_usage(const DartLayout& layout) {
       static_cast<std::uint64_t>(layout.flow_filter_rules) * 24;
 
   // Hash units: one for the RT index, one for the 4-byte flow signature,
-  // one per PT stage index, one for the PT record key fold.
+  // one per PT stage index, one for the PT record key fold. Dual-leg
+  // monitoring re-hashes the role classification on the dual-role
+  // recirculation pass, so its extra unit is accounted *before* the
+  // crossbar estimate that derives from the hash count.
   usage.hash_units = 2 + layout.pt_stages + 1;
+  if (layout.both_legs) usage.hash_units += 1;
 
   // Logical tables: RT and PT each split into component tables so values
   // can be acted on sequentially (Section 4), plus the payload LUT, the
-  // flow filter, and role-classification tables.
+  // flow filter, and role-classification tables. Dual-leg monitoring
+  // deliberately adds no tables: the recirculated pass revisits the same
+  // memory (Section 5), which is the whole point of recirculating.
   const std::uint32_t rt_tables = layout.component_tables_per_logical;
   const std::uint32_t pt_tables =
       layout.component_tables_per_logical * layout.pt_stages;
-  std::uint32_t fixed_tables = 6;  // parser glue, filter, LUT, reporting
+  const std::uint32_t fixed_tables = 6;  // parser glue, filter, LUT, report
   usage.logical_tables = rt_tables + pt_tables + fixed_tables;
 
   // Input crossbars: roughly one per logical table plus hash inputs.
   usage.input_crossbars = usage.logical_tables + usage.hash_units;
 
-  // Pipeline stages: RT spans 3, PT spans 3 per stage group; dual-leg
-  // processing reuses the same stages via recirculation.
-  usage.stages_used = layout.component_tables_per_logical +
-                      layout.component_tables_per_logical *
-                          ((layout.pt_stages + 2) / 3) +
-                      2;  // classification + reporting
-  if (layout.both_legs) usage.hash_units += 1;
+  // Pipeline stages. Each PT stage is its own logical register spread over
+  // `component_tables_per_logical` sequentially-dependent component
+  // tables, and consecutive PT stages are themselves sequential (stage
+  // k+1 is consulted only after stage k), so PT consumes components *
+  // pt_stages physical stages — there is no sharing of a component group
+  // across PT stages. (The previous accounting divided the PT stage count
+  // by the component split, under-counting multi-stage PTs.) Dual-leg
+  // processing reuses the same stages via recirculation and adds none.
+  usage.stages_used = 2  // classification/filter + reporting
+                      + layout.component_tables_per_logical
+                      + layout.component_tables_per_logical *
+                            layout.pt_stages;
 
   return usage;
 }

@@ -19,6 +19,13 @@ namespace dart::dataplane {
 /// Per-chip budgets. Values are public order-of-magnitude figures: a few
 /// tens of MB of SRAM per pipeline (the paper cites [19]), a few MB of
 /// TCAM, and fixed per-stage hash/crossbar resources.
+///
+/// The totals (hash_units, input_crossbars, ...) feed the Table 1
+/// utilization report; the per-stage figures below feed the static
+/// pipeline checker (dataplane/verify), which reasons about stage-local
+/// capacity rather than chip-wide sums. The two views are kept
+/// consistent: total = stages * per-stage, and one crossbar unit carries
+/// two key bytes (16 units/stage = 32 B/stage).
 struct TargetProfile {
   std::string name;
   std::uint32_t stages = 12;
@@ -27,6 +34,17 @@ struct TargetProfile {
   std::uint32_t hash_units = 0;
   std::uint32_t logical_tables = 0;
   std::uint32_t input_crossbars = 0;
+
+  /// Stage-local budgets for the static checker.
+  std::uint32_t hash_units_per_stage = 6;
+  std::uint32_t tables_per_stage = 8;
+  std::uint32_t crossbar_bytes_per_stage = 32;
+  /// Stateful-ALU operand width: the widest register a single-stage
+  /// read-modify-write can act on.
+  std::uint32_t salu_width_bits = 32;
+  /// Worst-case recirculation hops one packet may take before the
+  /// recirculation port's bandwidth share is exceeded (Section 5).
+  std::uint32_t max_recirculations_per_packet = 4;
 };
 
 TargetProfile tofino1_profile();

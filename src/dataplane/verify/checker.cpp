@@ -1,0 +1,466 @@
+#include "dataplane/verify/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dart::dataplane::verify {
+
+namespace {
+
+void diag(std::vector<Diagnostic>& out, Rule rule, std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.message = std::move(message);
+  out.push_back(std::move(d));
+}
+
+/// True when `edge` lies on a cycle made only of unbounded edges.
+bool on_unbounded_cycle(const PipelineProgram& program,
+                        const RecircEdge& edge) {
+  // DFS over unbounded edges from edge.to_pass looking for edge.from_pass.
+  std::set<std::uint32_t> visited;
+  std::vector<std::uint32_t> stack{edge.to_pass};
+  while (!stack.empty()) {
+    const std::uint32_t pass = stack.back();
+    stack.pop_back();
+    if (pass == edge.from_pass) return true;
+    if (!visited.insert(pass).second) continue;
+    for (const RecircEdge& next : program.recirc) {
+      if (!next.bounded && next.from_pass == pass) {
+        stack.push_back(next.to_pass);
+      }
+    }
+  }
+  return false;
+}
+
+struct Placer {
+  const TargetProfile& target;
+  std::uint32_t capacity;  // stages after the ingress+egress split
+  std::vector<StageUsage> usage;
+  std::map<std::string, TablePlacement> placed;
+
+  StageUsage& stage(std::uint32_t index) {
+    if (index >= usage.size()) usage.resize(index + 1);
+    return usage[index];
+  }
+
+  bool fits(std::uint32_t index, const TableAccess& access,
+            bool first_component) const {
+    if (index >= usage.size()) return true;
+    const StageUsage& s = usage[index];
+    const std::uint32_t hash_demand = first_component ? access.hash_units : 0;
+    return s.hash_units + hash_demand <= target.hash_units_per_stage &&
+           s.crossbar_bytes + access.crossbar_bytes <=
+               target.crossbar_bytes_per_stage &&
+           s.tables + 1 <= target.tables_per_stage;
+  }
+
+  /// Place `access` (spanning `components` stages) at the first feasible
+  /// start >= `earliest`. Budgets are soft here — overflow past `capacity`
+  /// is recorded and reported as a DPL003 diagnostic by the caller.
+  TablePlacement place(const TableAccess& access, std::uint32_t components,
+                       std::uint32_t earliest) {
+    std::uint32_t start = earliest;
+    // Bounded scan: past `capacity + components` the placement has already
+    // failed; stop sliding and take the slot for reporting purposes.
+    while (start < capacity + components) {
+      bool ok = true;
+      for (std::uint32_t c = 0; c < components; ++c) {
+        if (!fits(start + c, access, c == 0)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+      ++start;
+    }
+    for (std::uint32_t c = 0; c < components; ++c) {
+      StageUsage& s = stage(start + c);
+      if (c == 0) s.hash_units += access.hash_units;
+      s.crossbar_bytes += access.crossbar_bytes;
+      s.tables += 1;
+      s.table_names.push_back(access.table);
+    }
+    TablePlacement p;
+    p.table = access.table;
+    p.first_stage = start;
+    p.last_stage = start + components - 1;
+    placed[access.table] = p;
+    return p;
+  }
+};
+
+}  // namespace
+
+std::string rule_code(Rule rule) {
+  std::ostringstream out;
+  out << "DPL00" << static_cast<int>(rule);
+  return out.str();
+}
+
+std::string rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kConfig: return "config";
+    case Rule::kSingleAccessPerPass: return "single access per pass";
+    case Rule::kRmwSingleStage: return "SALU confinement";
+    case Rule::kStagePlacement: return "stage placement";
+    case Rule::kStageBudget: return "per-stage budget";
+    case Rule::kRecirculation: return "recirculation";
+    case Rule::kRegisterWidth: return "register width";
+    case Rule::kMemoryBudget: return "memory budget";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  return "error[" + rule_code(rule) + "]: " + message;
+}
+
+bool CheckReport::has_rule(Rule rule) const {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+CheckReport check(const PipelineProgram& program,
+                  const TargetProfile& target) {
+  CheckReport report;
+  report.program_name = program.name;
+  report.target_name = target.name;
+  const std::uint32_t capacity =
+      target.stages * (program.split_ingress_egress ? 2U : 1U);
+  report.stages_available = capacity;
+  report.recirculation_budget = target.max_recirculations_per_packet;
+  auto& diags = report.diagnostics;
+
+  // --- DPL000: structural sanity -----------------------------------------
+  if (program.passes.empty()) {
+    diag(diags, Rule::kConfig, "program has no passes");
+  }
+  for (const TableDecl& table : program.tables) {
+    if (table.component_tables == 0) {
+      diag(diags, Rule::kConfig,
+           "table '" + table.name + "' declares zero component tables");
+    }
+  }
+  for (const Pass& pass : program.passes) {
+    for (const TableAccess& access : pass.accesses) {
+      if (find_table(program, access.table) == nullptr) {
+        diag(diags, Rule::kConfig,
+             "pass '" + pass.name + "' accesses undeclared table '" +
+                 access.table + "'");
+      }
+    }
+  }
+  for (const RecircEdge& edge : program.recirc) {
+    if (edge.from_pass >= program.passes.size() ||
+        edge.to_pass >= program.passes.size()) {
+      diag(diags, Rule::kRecirculation,
+           "recirculation edge references a pass that does not exist (" +
+               std::to_string(edge.from_pass) + " -> " +
+               std::to_string(edge.to_pass) + ")");
+    }
+  }
+
+  // --- DPL001 / DPL002: access discipline per pass ------------------------
+  for (const Pass& pass : program.passes) {
+    std::map<std::string, std::vector<AccessKind>> per_table;
+    for (const TableAccess& access : pass.accesses) {
+      per_table[access.table].push_back(access.kind);
+    }
+    for (const auto& [table, kinds] : per_table) {
+      if (kinds.size() > 1) {
+        diag(diags, Rule::kSingleAccessPerPass,
+             "pass '" + pass.name + "' accesses table '" + table + "' " +
+                 std::to_string(kinds.size()) +
+                 " times; register memory admits one access per pass — "
+                 "revisiting requires a recirculation (Section 4)");
+      }
+      const bool has_read =
+          std::count(kinds.begin(), kinds.end(), AccessKind::kRead) > 0;
+      const bool has_write =
+          std::count(kinds.begin(), kinds.end(), AccessKind::kWrite) > 0;
+      if (has_read && has_write) {
+        diag(diags, Rule::kRmwSingleStage,
+             "pass '" + pass.name + "' splits a read and a write of table '" +
+                 table +
+                 "' into separate accesses; a read-modify-write must happen "
+                 "inside one stage's stateful ALU");
+      }
+    }
+  }
+
+  // --- DPL002: SALU operand width, DPL006: serial-arithmetic width --------
+  for (const TableDecl& table : program.tables) {
+    if (table.kind != TableKind::kRegister) continue;
+    if (table.width_bits > target.salu_width_bits) {
+      diag(diags, Rule::kRmwSingleStage,
+           "table '" + table.name + "' uses " +
+               std::to_string(table.width_bits) +
+               "-bit registers but the stateful ALU is " +
+               std::to_string(target.salu_width_bits) +
+               " bits wide; a wider read-modify-write cannot be confined to "
+               "one stage");
+    }
+    if (table.holds_seq_arith &&
+        table.width_bits < program.required_seq_bits) {
+      diag(diags, Rule::kRegisterWidth,
+           "table '" + table.name + "' holds seq/ack state in " +
+               std::to_string(table.width_bits) +
+               "-bit registers; serial (wraparound) arithmetic needs " +
+               std::to_string(program.required_seq_bits) +
+               " bits (RFC 1982 comparisons span the full circular space)");
+    }
+  }
+
+  // --- DPL003 / DPL004: placement against stage capacity ------------------
+  Placer placer{target, capacity, {}, {}};
+  if (!program.passes.empty()) {
+    bool have_prev = false;
+    TablePlacement prev{};
+    for (const TableAccess& access : program.passes.front().accesses) {
+      const TableDecl* table = find_table(program, access.table);
+      if (table == nullptr) continue;  // DPL000 already reported
+      if (placer.placed.count(access.table) != 0) continue;  // DPL001 case
+      if (access.hash_units > target.hash_units_per_stage ||
+          access.crossbar_bytes > target.crossbar_bytes_per_stage) {
+        diag(diags, Rule::kStageBudget,
+             "access to table '" + access.table + "' needs " +
+                 std::to_string(access.hash_units) + " hash units and " +
+                 std::to_string(access.crossbar_bytes) +
+                 " crossbar bytes in one stage; the target provides " +
+                 std::to_string(target.hash_units_per_stage) + " and " +
+                 std::to_string(target.crossbar_bytes_per_stage) +
+                 " per stage");
+        continue;
+      }
+      const std::uint32_t components = std::max(1U, table->component_tables);
+      const std::uint32_t earliest =
+          !have_prev ? 0U
+                     : (access.depends_on_previous ? prev.last_stage + 1
+                                                   : prev.first_stage);
+      prev = placer.place(access, components, earliest);
+      have_prev = true;
+    }
+  }
+  report.placements.reserve(placer.placed.size());
+  std::uint32_t max_stage = 0;
+  bool any_placed = false;
+  // Preserve program (pass 0) order in the report for readable output.
+  if (!program.passes.empty()) {
+    for (const TableAccess& access : program.passes.front().accesses) {
+      const auto it = placer.placed.find(access.table);
+      if (it == placer.placed.end()) continue;
+      if (std::any_of(report.placements.begin(), report.placements.end(),
+                      [&](const TablePlacement& p) {
+                        return p.table == access.table;
+                      })) {
+        continue;
+      }
+      report.placements.push_back(it->second);
+      max_stage = std::max(max_stage, it->second.last_stage);
+      any_placed = true;
+    }
+  }
+  report.stages_used = any_placed ? max_stage + 1 : 0;
+  report.stage_usage = placer.usage;
+  if (report.stages_used > capacity) {
+    std::string overflow;
+    for (const TablePlacement& p : report.placements) {
+      if (p.last_stage >= capacity) {
+        if (!overflow.empty()) overflow += ", ";
+        overflow += p.table;
+      }
+    }
+    diag(diags, Rule::kStagePlacement,
+         "dependency-ordered placement needs " +
+             std::to_string(report.stages_used) + " stages but the target "
+             "provides " + std::to_string(capacity) +
+             (program.split_ingress_egress ? " (ingress+egress)" : "") +
+             "; overflowing tables: " + overflow +
+             (program.split_ingress_egress
+                  ? ""
+                  : " (an ingress+egress split would double the budget, as "
+                    "in the paper's Tofino1 prototype)"));
+  }
+
+  // Later passes revisit the same physical tables, so they must consume
+  // them in non-decreasing stage order — memory behind the packet cannot
+  // be reached without another recirculation.
+  for (std::size_t i = 1; i < program.passes.size(); ++i) {
+    const Pass& pass = program.passes[i];
+    bool have_prev = false;
+    TablePlacement prev{};
+    std::string prev_table;
+    for (const TableAccess& access : pass.accesses) {
+      const auto it = placer.placed.find(access.table);
+      if (it == placer.placed.end()) continue;  // not in the initial pass
+      const TablePlacement& here = it->second;
+      if (have_prev) {
+        const bool backwards =
+            access.depends_on_previous
+                ? here.first_stage <= prev.last_stage
+                : here.first_stage < prev.first_stage;
+        if (backwards) {
+          diag(diags, Rule::kStagePlacement,
+               "pass '" + pass.name + "' visits table '" + access.table +
+                   "' (stage " + std::to_string(here.first_stage) +
+                   ") after table '" + prev_table + "' (stage " +
+                   std::to_string(prev.last_stage) +
+                   "); a pass flows forward only, so this ordering is "
+                   "unplaceable");
+        }
+      }
+      prev = here;
+      prev_table = access.table;
+      have_prev = true;
+    }
+  }
+
+  // --- DPL005: recirculation budget and termination -----------------------
+  std::uint64_t worst = 0;
+  for (const RecircEdge& edge : program.recirc) {
+    if (!edge.bounded) {
+      if (on_unbounded_cycle(program, edge)) {
+        diag(diags, Rule::kRecirculation,
+             "unbounded recirculation cycle through pass " +
+                 std::to_string(edge.to_pass) + " (" + edge.reason +
+                 "); the pipeline cannot guarantee termination");
+      } else {
+        diag(diags, Rule::kRecirculation,
+             "recirculation edge '" + edge.reason +
+                 "' has no budget; worst-case recirculation bandwidth is "
+                 "unbounded");
+      }
+      continue;
+    }
+    worst += edge.budget;
+  }
+  report.worst_case_recirculations =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(worst, 0xFFFFFFFFu));
+  if (worst > target.max_recirculations_per_packet) {
+    diag(diags, Rule::kRecirculation,
+         "worst-case recirculations per packet is " + std::to_string(worst) +
+             " but the target's recirculation budget is " +
+             std::to_string(target.max_recirculations_per_packet) +
+             " (Section 5: recirculation shares port bandwidth)");
+  }
+
+  return report;
+}
+
+CheckReport check_deployment(const DartLayout& layout,
+                             const MonitorShape& shape,
+                             const TargetProfile& target) {
+  // Keep the analytic memory model and the emitted program in agreement on
+  // the knobs both understand.
+  DartLayout synced = layout;
+  synced.pt_stages = shape.pt_stages;
+  synced.both_legs = shape.both_legs;
+
+  CheckReport report = check(emit_program(synced, shape), target);
+  for (Diagnostic& d : check_shape(shape)) {
+    report.diagnostics.push_back(std::move(d));
+  }
+  // The split prototype spreads memory across both pipeline halves.
+  TargetProfile memory_target = target;
+  if (shape.split_ingress_egress) {
+    memory_target.sram_bytes *= 2;
+    memory_target.tcam_bytes *= 2;
+    memory_target.logical_tables *= 2;
+    memory_target.hash_units *= 2;
+    memory_target.input_crossbars *= 2;
+    memory_target.stages *= 2;
+  }
+  for (const std::string& problem : validate_layout(synced, memory_target)) {
+    Diagnostic d;
+    d.rule = Rule::kMemoryBudget;
+    d.message = problem;
+    report.diagnostics.push_back(std::move(d));
+  }
+  return report;
+}
+
+std::vector<Diagnostic> check_shape(const MonitorShape& shape) {
+  std::vector<Diagnostic> diags;
+  if (shape.pt_stages == 0) {
+    diag(diags, Rule::kConfig,
+         "Packet Tracker must have at least one stage (pt_stages == 0 "
+         "leaves SEQ packets nowhere to wait for their ACK)");
+  }
+  if (shape.register_bits == 0) {
+    diag(diags, Rule::kConfig,
+         "register width must be nonzero to hold seq/ack state");
+  }
+  if (shape.flow_key_bytes == 0) {
+    diag(diags, Rule::kConfig,
+         "flow key must be nonzero to identify connections");
+  }
+  return diags;
+}
+
+TargetProfile software_profile() {
+  TargetProfile p;
+  p.name = "software (unconstrained)";
+  p.stages = 1024;
+  p.sram_bytes = ~0ULL;
+  p.tcam_bytes = ~0ULL;
+  p.hash_units_per_stage = 1024;
+  p.tables_per_stage = 1024;
+  p.crossbar_bytes_per_stage = 1 << 20;
+  p.salu_width_bits = 64;
+  p.max_recirculations_per_packet = 0xFFFFFFFFu;
+  p.hash_units = p.stages * p.hash_units_per_stage;
+  p.logical_tables = p.stages * p.tables_per_stage;
+  p.input_crossbars = p.stages * 16;
+  return p;
+}
+
+std::string format_diagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) out += "\n";
+    out += d.to_string();
+  }
+  return out;
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream out;
+  out << "dart-pipeline-lint: program '" << program_name << "' on target '"
+      << target_name << "'\n";
+  out << std::string(72, '-') << "\n";
+  out << "stage | tables                                        | hash | "
+         "xbar(B)\n";
+  for (std::size_t s = 0; s < stage_usage.size(); ++s) {
+    const StageUsage& u = stage_usage[s];
+    std::string names;
+    for (const std::string& n : u.table_names) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    if (names.size() > 45) names = names.substr(0, 42) + "...";
+    out << (s < 10 ? "    " : (s < 100 ? "   " : "  ")) << s << " | ";
+    out << names << std::string(names.size() < 45 ? 45 - names.size() : 1, ' ')
+        << " |  " << u.hash_units << "   | " << u.crossbar_bytes << "\n";
+  }
+  out << std::string(72, '-') << "\n";
+  out << "stages used: " << stages_used << " / " << stages_available
+      << "   worst-case recirculations: " << worst_case_recirculations
+      << " / " << recirculation_budget << "\n";
+  for (const Diagnostic& d : diagnostics) {
+    out << d.to_string() << "\n";
+  }
+  out << "result: "
+      << (feasible() ? "FEASIBLE" : ("INFEASIBLE (" +
+                                     std::to_string(diagnostics.size()) +
+                                     (diagnostics.size() == 1 ? " error)"
+                                                              : " errors)")))
+      << "\n";
+  return out.str();
+}
+
+}  // namespace dart::dataplane::verify

@@ -1,0 +1,121 @@
+// Static feasibility checker over a PipelineProgram — the ahead-of-time
+// stand-in for the hardware compiler's constraint pass.
+//
+// Each rule models one Tofino compile-time constraint the paper designs
+// around (DESIGN.md maps rules to paper sections):
+//   DPL001 single access   — register memory is visited at most once per
+//                            logical table per pass (Section 4).
+//   DPL002 SALU confinement— a read-modify-write happens inside one
+//                            stage's stateful ALU at SALU operand width.
+//   DPL003 stage placement — dependency-ordered accesses must fit the
+//                            target's stage count (x2 when the deployment
+//                            spans ingress+egress like the Tofino1
+//                            prototype), and later passes may only visit
+//                            tables in non-decreasing stage order.
+//   DPL004 stage budgets   — per-stage hash-unit and input-crossbar
+//                            capacity bounds any single access.
+//   DPL005 recirculation   — every recirculation edge is budgeted, cycles
+//                            of unbounded edges are non-terminating, and
+//                            the worst-case per-packet hop count fits the
+//                            target's recirculation budget (Section 5).
+//   DPL006 register width  — tables holding seq/ack values need registers
+//                            wide enough for serial (wraparound)
+//                            arithmetic (Section 4).
+//   DPL000 config          — malformed programs (dangling table refs,
+//                            zero-stage PT, empty passes).
+//   DPL007 memory budget   — SRAM/TCAM/total-resource overruns, folded in
+//                            from validate_layout by check_deployment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/resource_model.hpp"
+#include "dataplane/verify/pipeline_program.hpp"
+
+namespace dart::dataplane::verify {
+
+enum class Rule : std::uint8_t {
+  kConfig = 0,
+  kSingleAccessPerPass = 1,
+  kRmwSingleStage = 2,
+  kStagePlacement = 3,
+  kStageBudget = 4,
+  kRecirculation = 5,
+  kRegisterWidth = 6,
+  kMemoryBudget = 7,
+};
+
+/// Stable diagnostic code ("DPL003") for a rule.
+std::string rule_code(Rule rule);
+
+/// Short human name ("stage placement") for a rule.
+std::string rule_name(Rule rule);
+
+struct Diagnostic {
+  Rule rule = Rule::kConfig;
+  std::string message;
+
+  /// "error[DPL003]: <message>"
+  std::string to_string() const;
+};
+
+/// Where the placement engine put a table.
+struct TablePlacement {
+  std::string table;
+  std::uint32_t first_stage = 0;
+  std::uint32_t last_stage = 0;  ///< inclusive; component tables span stages
+};
+
+/// Aggregate demand placed into one physical stage.
+struct StageUsage {
+  std::uint32_t hash_units = 0;
+  std::uint32_t crossbar_bytes = 0;
+  std::uint32_t tables = 0;
+  std::vector<std::string> table_names;
+};
+
+struct CheckReport {
+  std::string program_name;
+  std::string target_name;
+  std::vector<Diagnostic> diagnostics;
+  std::vector<TablePlacement> placements;
+  std::vector<StageUsage> stage_usage;   ///< indexed by physical stage
+  std::uint32_t stages_used = 0;
+  std::uint32_t stages_available = 0;    ///< after the ingress+egress split
+  std::uint32_t worst_case_recirculations = 0;
+  std::uint32_t recirculation_budget = 0;
+
+  bool feasible() const { return diagnostics.empty(); }
+  bool has_rule(Rule rule) const;
+
+  /// Tofino-compiler-style placement report plus the diagnostics.
+  std::string to_string() const;
+};
+
+/// Check a program against a target chip profile.
+CheckReport check(const PipelineProgram& program, const TargetProfile& target);
+
+/// Emit the program for (layout, shape), check it, and fold in the memory
+/// budget problems from validate_layout as DPL007 diagnostics. This is the
+/// one-call API behind both dart-pipeline-lint and fail-fast construction.
+CheckReport check_deployment(const DartLayout& layout,
+                             const MonitorShape& shape,
+                             const TargetProfile& target);
+
+/// Structural sanity of a monitor shape alone — constraints that make the
+/// pipeline ill-formed on any target (zero PT stages, zero-width
+/// registers). Used by DartMonitor/ShardedMonitor fail-fast validation,
+/// where no concrete chip target is implied.
+std::vector<Diagnostic> check_shape(const MonitorShape& shape);
+
+/// A deliberately permissive profile ("software target") used to validate
+/// monitor configurations structurally without imposing a real chip's
+/// stage or budget limits.
+TargetProfile software_profile();
+
+/// Render diagnostics one per line (used for exception messages).
+std::string format_diagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace dart::dataplane::verify

@@ -1,0 +1,163 @@
+#include "dataplane/verify/pipeline_program.hpp"
+
+// Compile the static_assert slice of the checker into the library so an
+// infeasible default layout is a build error, not just a lint finding.
+#include "dataplane/verify/static_checks.hpp"
+
+namespace dart::dataplane::verify {
+
+namespace {
+
+TableAccess access(std::string table, AccessKind kind,
+                   std::uint32_t hash_units, std::uint32_t crossbar_bytes,
+                   bool depends_on_previous) {
+  TableAccess a;
+  a.table = std::move(table);
+  a.kind = kind;
+  a.hash_units = hash_units;
+  a.crossbar_bytes = crossbar_bytes;
+  a.depends_on_previous = depends_on_previous;
+  return a;
+}
+
+}  // namespace
+
+PipelineProgram emit_program(const DartLayout& layout,
+                             const MonitorShape& shape) {
+  PipelineProgram program;
+  program.name = "dart";
+  program.required_seq_bits = 32;
+  program.split_ingress_egress = shape.split_ingress_egress;
+
+  // --- Logical tables -----------------------------------------------------
+  if (shape.use_flow_filter) {
+    TableDecl filter;
+    filter.name = "flow_filter";
+    filter.kind = TableKind::kTernary;
+    filter.width_bits = 0;  // match-only, no stateful registers
+    filter.entries = layout.flow_filter_rules;
+    program.tables.push_back(filter);
+  }
+  if (shape.use_payload_lut) {
+    TableDecl lut;
+    lut.name = "payload_lut";
+    lut.kind = TableKind::kExactMatch;
+    lut.width_bits = 16;  // precomputed payload size result
+    lut.entries = layout.payload_lut_entries;
+    program.tables.push_back(lut);
+  }
+  {
+    TableDecl rt;
+    rt.name = "range_tracker";
+    rt.kind = TableKind::kRegister;
+    rt.width_bits = shape.register_bits;
+    rt.entries = layout.rt_slots;
+    rt.component_tables = layout.component_tables_per_logical;
+    rt.holds_seq_arith = true;
+    program.tables.push_back(rt);
+  }
+  const std::uint32_t pt_stages = shape.pt_stages;
+  for (std::uint32_t s = 0; s < pt_stages; ++s) {
+    TableDecl pt;
+    pt.name = "packet_tracker_s" + std::to_string(s);
+    pt.kind = TableKind::kRegister;
+    pt.width_bits = shape.register_bits;
+    pt.entries = pt_stages == 0 ? 0 : layout.pt_slots / pt_stages;
+    pt.component_tables = layout.component_tables_per_logical;
+    pt.holds_seq_arith = true;
+    program.tables.push_back(pt);
+  }
+  if (shape.shadow_rt) {
+    TableDecl shadow;
+    shadow.name = "shadow_range_tracker";
+    shadow.kind = TableKind::kRegister;
+    shadow.width_bits = shape.register_bits;
+    shadow.entries = layout.rt_slots;
+    shadow.component_tables = layout.component_tables_per_logical;
+    shadow.holds_seq_arith = true;
+    program.tables.push_back(shadow);
+  }
+
+  // --- Initial pass -------------------------------------------------------
+  // Dependency order mirrors Figure 3: classify/filter, derive the payload
+  // size, validate + update the measurement range, then walk the PT stages
+  // in order (stage k+1 is consulted only if stage k's slot was taken),
+  // finally the optional shadow-RT staleness check on the evicted record.
+  Pass initial;
+  initial.name = "initial";
+  if (shape.use_flow_filter) {
+    // TCAM match; no hash unit, key is the full flow identifier.
+    initial.accesses.push_back(access("flow_filter", AccessKind::kRead, 0,
+                                      shape.flow_key_bytes, true));
+  }
+  if (shape.use_payload_lut) {
+    // Exact-match on (total_len, tcp_words) — independent of the filter
+    // result, so it may share the stage.
+    initial.accesses.push_back(
+        access("payload_lut", AccessKind::kRead, 1, 4, false));
+  }
+  // RT: index hash + signature fold; key = flow id, operands = seq/eack.
+  initial.accesses.push_back(access("range_tracker",
+                                    AccessKind::kReadModifyWrite, 2,
+                                    shape.flow_key_bytes + 8, true));
+  for (std::uint32_t s = 0; s < pt_stages; ++s) {
+    // Stage 0 also folds the (signature, eACK) record key; later stages
+    // reuse the fold and spend one unit on their per-stage index hash.
+    initial.accesses.push_back(access("packet_tracker_s" + std::to_string(s),
+                                      AccessKind::kReadModifyWrite,
+                                      s == 0 ? 2 : 1, 8, true));
+  }
+  if (shape.shadow_rt) {
+    initial.accesses.push_back(
+        access("shadow_range_tracker", AccessKind::kRead, 1, 8, true));
+  }
+  program.passes.push_back(std::move(initial));
+
+  // --- Recirculated pass + edges ------------------------------------------
+  if (shape.max_recirculations > 0) {
+    Pass recirc;
+    recirc.name = "recirculated";
+    // A displaced record re-validates against the RT (read-only — the
+    // hardware updates a matching entry on re-entry, still one access)
+    // and then re-attempts insertion across the PT stages.
+    recirc.accesses.push_back(access("range_tracker", AccessKind::kRead, 2,
+                                     shape.flow_key_bytes + 8, true));
+    for (std::uint32_t s = 0; s < pt_stages; ++s) {
+      recirc.accesses.push_back(
+          access("packet_tracker_s" + std::to_string(s),
+                 AccessKind::kReadModifyWrite, s == 0 ? 2 : 1, 8, true));
+    }
+    program.passes.push_back(std::move(recirc));
+
+    RecircEdge displacement;
+    displacement.from_pass = 0;
+    displacement.to_pass = 1;
+    displacement.reason = "PT displacement chain (Section 3.2)";
+    displacement.bounded = true;
+    displacement.budget = shape.max_recirculations;
+    program.recirc.push_back(displacement);
+  }
+  if (shape.both_legs) {
+    // Dual-role packets re-enter the initial pass once to play their
+    // second role (Section 5).
+    RecircEdge dual;
+    dual.from_pass = 0;
+    dual.to_pass = 0;
+    dual.reason = "dual-role packet, both legs (Section 5)";
+    dual.bounded = true;
+    dual.budget = 1;
+    program.recirc.push_back(dual);
+  }
+
+  return program;
+}
+
+const TableDecl* find_table(const PipelineProgram& program,
+                            const std::string& name) {
+  for (const TableDecl& table : program.tables) {
+    if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+}  // namespace dart::dataplane::verify

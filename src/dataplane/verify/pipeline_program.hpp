@@ -1,0 +1,119 @@
+// Declarative IR describing the Dart pipeline the way the hardware
+// compiler sees it — the input to the ahead-of-time feasibility checker.
+//
+// A PipelineProgram lists the logical tables (register arrays and
+// match-action tables), the ordered table accesses each pipeline pass
+// performs, and the recirculation edges between passes. `emit_program`
+// derives the program for a concrete deployment from the memory layout
+// (DartLayout) plus the monitor shape (PT stages, recirculation budget,
+// leg mode, shadow RT); hand-built programs are used by the checker tests
+// to exercise each rule's failing side.
+//
+// The IR deliberately mirrors the constraints of Section 4 of the paper:
+// register values must be acted on sequentially within a pass (hence
+// component tables and dependency-ordered accesses), revisiting memory
+// requires a recirculation (hence explicit recirculation edges with
+// budgets), and all stateful arithmetic happens in SALU-width registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/resource_model.hpp"
+
+namespace dart::dataplane::verify {
+
+/// How an access touches a table. Stateful tables (registers) support one
+/// read-modify-write per packet per pass; match tables are read-only.
+enum class AccessKind : std::uint8_t { kRead, kWrite, kReadModifyWrite };
+
+/// Where a table's entries live.
+enum class TableKind : std::uint8_t { kRegister, kExactMatch, kTernary };
+
+/// One logical table of the program.
+struct TableDecl {
+  std::string name;
+  TableKind kind = TableKind::kRegister;
+  /// Stateful register width per component (SALU operand width).
+  std::uint32_t width_bits = 32;
+  std::uint64_t entries = 0;
+  /// Sequential split of one logical value across physical tables
+  /// (Section 4: RT and PT values are acted on sequentially, so left /
+  /// right / signature live in consecutive stages). Each component table
+  /// occupies its own pipeline stage.
+  std::uint32_t component_tables = 1;
+  /// True when the registers hold TCP sequence/ack values and therefore
+  /// participate in serial (wraparound) arithmetic.
+  bool holds_seq_arith = false;
+};
+
+/// One access in a pass's dependency-ordered access sequence.
+struct TableAccess {
+  std::string table;
+  AccessKind kind = AccessKind::kRead;
+  /// Hash units consumed when this access is placed (index + key folds).
+  std::uint32_t hash_units = 1;
+  /// Key bytes routed through the stage's input crossbar.
+  std::uint32_t crossbar_bytes = 0;
+  /// True when this access consumes the previous access's result and must
+  /// therefore be placed in a strictly later stage. False lets the
+  /// placement engine co-locate it with the previous access.
+  bool depends_on_previous = true;
+};
+
+/// One traversal of the pipeline (initial pass, recirculated pass, ...).
+struct Pass {
+  std::string name;
+  std::vector<TableAccess> accesses;
+};
+
+/// A recirculation edge: packets leaving `from_pass` re-enter the pipeline
+/// as `to_pass`. `bounded` + `budget` express the per-insertion hop limit;
+/// an unbounded edge inside a cycle is non-terminating and rejected.
+struct RecircEdge {
+  std::uint32_t from_pass = 0;
+  std::uint32_t to_pass = 0;
+  std::string reason;
+  bool bounded = true;
+  std::uint32_t budget = 1;
+};
+
+struct PipelineProgram {
+  std::string name;
+  std::vector<TableDecl> tables;
+  std::vector<Pass> passes;
+  std::vector<RecircEdge> recirc;
+  /// Register width serial seq/ack arithmetic needs to survive wraparound
+  /// (RFC 1982 comparisons need the full 32-bit circular space).
+  std::uint32_t required_seq_bits = 32;
+  /// Tofino1-prototype style deployment across ingress + egress, doubling
+  /// the stage budget at the cost of the second pipeline half.
+  bool split_ingress_egress = false;
+};
+
+/// The monitor-configuration facts that shape the emitted program, kept
+/// free of core:: types so core can depend on dataplane and not vice
+/// versa. core::DartConfig maps onto this in dart_monitor.cpp.
+struct MonitorShape {
+  std::uint32_t pt_stages = 1;
+  std::uint32_t max_recirculations = 1;
+  bool both_legs = false;
+  bool shadow_rt = false;
+  bool use_flow_filter = true;
+  bool use_payload_lut = true;
+  /// Key bytes of the flow identifier (IPv4 4-tuple = 12, IPv6 = 36).
+  std::uint32_t flow_key_bytes = 12;
+  /// Register width used for seq/ack state (the hardware uses 32).
+  std::uint32_t register_bits = 32;
+  bool split_ingress_egress = false;
+};
+
+/// Derive the hardware-shaped program for a deployment.
+PipelineProgram emit_program(const DartLayout& layout,
+                             const MonitorShape& shape);
+
+const TableDecl* find_table(const PipelineProgram& program,
+                            const std::string& name);
+
+}  // namespace dart::dataplane::verify

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/config_check.hpp"
+
 namespace dart::runtime {
 
 ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
@@ -16,9 +18,12 @@ ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
   start(std::move(factory));
 }
 
+// Validate before any shard exists so an infeasible config throws the
+// pipeline checker's diagnostics without starting a single worker.
 ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
                                const core::DartConfig& dart_config)
-    : ShardedMonitor(config, dart_factory(dart_config)) {}
+    : ShardedMonitor(config,
+                     dart_factory(core::ensure_feasible(dart_config))) {}
 
 ShardedMonitor::~ShardedMonitor() { finish(); }
 

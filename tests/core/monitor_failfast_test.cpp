@@ -1,0 +1,113 @@
+// Fail-fast construction: DartMonitor and ShardedMonitor refuse
+// structurally infeasible configurations at construction time, with the
+// same rule-coded diagnostics dart-pipeline-lint prints.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/config_check.hpp"
+#include "core/dart_monitor.hpp"
+#include "runtime/sharded_monitor.hpp"
+
+namespace dart::core {
+namespace {
+
+TEST(FailFast, DefaultConfigConstructs) {
+  EXPECT_TRUE(check_config(DartConfig{}).empty());
+  EXPECT_NO_THROW(DartMonitor{DartConfig{}});
+}
+
+TEST(FailFast, PaperBoundedConfigConstructs) {
+  DartConfig config;
+  config.rt_size = 1 << 16;
+  config.pt_size = 1 << 17;
+  config.pt_stages = 4;
+  config.max_recirculations = 4;
+  config.leg = LegMode::kBoth;
+  config.shadow_rt = true;
+  EXPECT_NO_THROW(DartMonitor{config});
+}
+
+TEST(FailFast, ZeroPtStagesWithBoundedPtThrows) {
+  DartConfig config;
+  config.pt_size = 1024;
+  config.pt_stages = 0;
+  try {
+    DartMonitor monitor(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Same diagnostics as the lint tool: rule-coded.
+    EXPECT_NE(std::string(e.what()).find("DPL000"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("at least one stage"),
+              std::string::npos);
+  }
+}
+
+TEST(FailFast, ZeroPtStagesWithUnboundedPtIsAllowed) {
+  // pt_stages is documented as ignored when pt_size == 0; the normalized
+  // shape keeps the model well-formed.
+  DartConfig config;
+  config.pt_size = 0;
+  config.pt_stages = 0;
+  EXPECT_NO_THROW(DartMonitor{config});
+}
+
+TEST(FailFast, FewerPtSlotsThanStagesThrows) {
+  DartConfig config;
+  config.pt_size = 3;
+  config.pt_stages = 8;
+  try {
+    DartMonitor monitor(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fewer slots"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailFast, CheckConfigListsDiagnosticsWithoutThrowing) {
+  DartConfig config;
+  config.pt_size = 1024;
+  config.pt_stages = 0;
+  const auto diags = check_config(config);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().rule, dataplane::verify::Rule::kConfig);
+}
+
+TEST(FailFast, ShardedMonitorPropagatesDiagnostics) {
+  runtime::ShardedConfig sharded;
+  sharded.shards = 2;
+  DartConfig config;
+  config.pt_size = 1024;
+  config.pt_stages = 0;
+  EXPECT_THROW(runtime::ShardedMonitor(sharded, config),
+               std::invalid_argument);
+}
+
+TEST(FailFast, ShardedMonitorAcceptsFeasibleConfig) {
+  runtime::ShardedConfig sharded;
+  sharded.shards = 2;
+  DartConfig config;
+  config.rt_size = 1 << 10;
+  config.pt_size = 1 << 10;
+  runtime::ShardedMonitor monitor(sharded, config);
+  monitor.finish();
+  EXPECT_EQ(monitor.merged_stats().packets_processed, 0U);
+}
+
+TEST(FailFast, MonitorShapeMapsLegAndShadow) {
+  DartConfig config;
+  config.leg = LegMode::kBoth;
+  config.shadow_rt = true;
+  config.pt_stages = 3;
+  config.max_recirculations = 7;
+  const auto shape = monitor_shape(config);
+  EXPECT_TRUE(shape.both_legs);
+  EXPECT_TRUE(shape.shadow_rt);
+  EXPECT_EQ(shape.pt_stages, 3U);
+  EXPECT_EQ(shape.max_recirculations, 7U);
+}
+
+}  // namespace
+}  // namespace dart::core

@@ -1,0 +1,363 @@
+// Static pipeline checker (dataplane/verify): every rule gets one passing
+// and one failing fixture, and the paper's deployed configurations are
+// pinned as feasible while a battery of broken ones is pinned infeasible
+// with rule-specific diagnostics.
+#include <gtest/gtest.h>
+
+#include "dataplane/resource_model.hpp"
+#include "dataplane/verify/checker.hpp"
+#include "dataplane/verify/pipeline_program.hpp"
+
+namespace dart::dataplane::verify {
+namespace {
+
+// A minimal hand-built program: one 32-bit register table accessed once.
+PipelineProgram tiny_program() {
+  PipelineProgram program;
+  program.name = "tiny";
+  TableDecl table;
+  table.name = "reg";
+  table.kind = TableKind::kRegister;
+  table.width_bits = 32;
+  table.entries = 1024;
+  table.component_tables = 1;
+  table.holds_seq_arith = true;
+  program.tables.push_back(table);
+  Pass pass;
+  pass.name = "initial";
+  TableAccess access;
+  access.table = "reg";
+  access.kind = AccessKind::kReadModifyWrite;
+  access.hash_units = 1;
+  access.crossbar_bytes = 8;
+  program.passes.push_back(pass);
+  program.passes.front().accesses.push_back(access);
+  return program;
+}
+
+MonitorShape paper_shape() { return MonitorShape{}; }
+
+// ---------------------------------------------------------------------------
+// Acceptance: the paper's configurations are feasible.
+
+TEST(Checker, PaperTofino1Feasible) {
+  const CheckReport report =
+      check_deployment(DartLayout{}, paper_shape(), tofino1_profile());
+  EXPECT_TRUE(report.feasible()) << report.to_string();
+  EXPECT_LE(report.stages_used, tofino1_profile().stages);
+}
+
+TEST(Checker, PaperTofino2Feasible) {
+  const CheckReport report =
+      check_deployment(DartLayout{}, paper_shape(), tofino2_profile());
+  EXPECT_TRUE(report.feasible()) << report.to_string();
+}
+
+TEST(Checker, IngressEgressSplitPrototypeFeasible) {
+  // The Tofino1 prototype spans ingress+egress; with the split a 4-stage
+  // PT fits even though a single pipeline rejects it.
+  MonitorShape shape = paper_shape();
+  shape.pt_stages = 4;
+  shape.split_ingress_egress = true;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino1_profile());
+  EXPECT_TRUE(report.feasible()) << report.to_string();
+  EXPECT_GT(report.stages_used, tofino1_profile().stages);
+  EXPECT_LE(report.stages_used, 2 * tofino1_profile().stages);
+}
+
+TEST(Checker, BothLegsWithShadowRtFeasibleOnTofino2) {
+  MonitorShape shape = paper_shape();
+  shape.both_legs = true;
+  shape.shadow_rt = true;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino2_profile());
+  EXPECT_TRUE(report.feasible()) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL000 config.
+
+TEST(Checker, ConfigPasses) {
+  EXPECT_TRUE(check(tiny_program(), tofino1_profile()).feasible());
+}
+
+TEST(Checker, ConfigRejectsUndeclaredTable) {
+  PipelineProgram program = tiny_program();
+  program.passes.front().accesses.front().table = "ghost";
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kConfig)) << report.to_string();
+}
+
+TEST(Checker, ConfigRejectsZeroComponentTables) {
+  PipelineProgram program = tiny_program();
+  program.tables.front().component_tables = 0;
+  EXPECT_TRUE(
+      check(program, tofino1_profile()).has_rule(Rule::kConfig));
+}
+
+TEST(Checker, ShapeRejectsZeroPtStages) {
+  MonitorShape shape = paper_shape();
+  shape.pt_stages = 0;
+  const auto diags = check_shape(shape);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().rule, Rule::kConfig);
+}
+
+// ---------------------------------------------------------------------------
+// DPL001 single access per logical table per pass.
+
+TEST(Checker, SingleAccessPasses) {
+  // The emitted paper program touches each register table exactly once per
+  // pass, by construction.
+  const PipelineProgram program = emit_program(DartLayout{}, paper_shape());
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_FALSE(report.has_rule(Rule::kSingleAccessPerPass))
+      << report.to_string();
+}
+
+TEST(Checker, SingleAccessRejectsDoubleVisit) {
+  PipelineProgram program = tiny_program();
+  program.passes.front().accesses.push_back(
+      program.passes.front().accesses.front());
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kSingleAccessPerPass))
+      << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL002 read-modify-write confined to one stage (SALU model).
+
+TEST(Checker, RmwWithinSaluWidthPasses) {
+  EXPECT_FALSE(check(tiny_program(), tofino1_profile())
+                   .has_rule(Rule::kRmwSingleStage));
+}
+
+TEST(Checker, RmwRejectsSplitReadWrite) {
+  PipelineProgram program = tiny_program();
+  program.passes.front().accesses.front().kind = AccessKind::kRead;
+  TableAccess write = program.passes.front().accesses.front();
+  write.kind = AccessKind::kWrite;
+  program.passes.front().accesses.push_back(write);
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kRmwSingleStage)) << report.to_string();
+}
+
+TEST(Checker, RmwRejectsRegistersWiderThanSalu) {
+  PipelineProgram program = tiny_program();
+  program.tables.front().width_bits = 64;
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kRmwSingleStage)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL003 dependency-respecting stage placement.
+
+TEST(Checker, PlacementFitsPaperProgram) {
+  const CheckReport report =
+      check(emit_program(DartLayout{}, paper_shape()), tofino1_profile());
+  EXPECT_FALSE(report.has_rule(Rule::kStagePlacement)) << report.to_string();
+  // RT's three component tables occupy three consecutive stages after the
+  // classification stage, before the PT.
+  ASSERT_FALSE(report.placements.empty());
+}
+
+TEST(Checker, PlacementRejectsFourPtStagesOnSingleTofino1Pipeline) {
+  MonitorShape shape = paper_shape();
+  shape.pt_stages = 4;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino1_profile());
+  EXPECT_FALSE(report.feasible());
+  EXPECT_TRUE(report.has_rule(Rule::kStagePlacement)) << report.to_string();
+}
+
+TEST(Checker, PlacementRejectsBackwardsOrderInLaterPass) {
+  // Pass 0 places A before B; a later pass consuming B before A would need
+  // the packet to travel backwards.
+  PipelineProgram program = tiny_program();
+  TableDecl b = program.tables.front();
+  b.name = "reg_b";
+  program.tables.push_back(b);
+  TableAccess access_b = program.passes.front().accesses.front();
+  access_b.table = "reg_b";
+  program.passes.front().accesses.push_back(access_b);
+
+  Pass backwards;
+  backwards.name = "recirculated";
+  backwards.accesses.push_back(access_b);             // reg_b first
+  backwards.accesses.push_back(TableAccess{program.passes.front()
+                                               .accesses.front()});  // reg
+  program.passes.push_back(backwards);
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kStagePlacement)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL004 per-stage hash-unit / crossbar budgets.
+
+TEST(Checker, StageBudgetPassesForModestDemand) {
+  EXPECT_FALSE(
+      check(tiny_program(), tofino1_profile()).has_rule(Rule::kStageBudget));
+}
+
+TEST(Checker, StageBudgetRejectsHashHungryAccess) {
+  PipelineProgram program = tiny_program();
+  program.passes.front().accesses.front().hash_units =
+      tofino1_profile().hash_units_per_stage + 1;
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kStageBudget)) << report.to_string();
+}
+
+TEST(Checker, StageBudgetRejectsWideKeysOnNarrowCrossbar) {
+  // IPv6 flow keys exceed the per-stage crossbar capacity.
+  MonitorShape shape = paper_shape();
+  shape.flow_key_bytes = 36;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kStageBudget)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL005 recirculation budget and termination.
+
+TEST(Checker, RecirculationWithinBudgetPasses) {
+  const CheckReport report =
+      check(emit_program(DartLayout{}, paper_shape()), tofino1_profile());
+  EXPECT_FALSE(report.has_rule(Rule::kRecirculation)) << report.to_string();
+  EXPECT_EQ(report.worst_case_recirculations, 1U);
+}
+
+TEST(Checker, RecirculationRejectsBudgetOverrun) {
+  MonitorShape shape = paper_shape();
+  shape.max_recirculations = tofino1_profile().max_recirculations_per_packet
+                             + 1;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kRecirculation)) << report.to_string();
+}
+
+TEST(Checker, RecirculationRejectsUnboundedCycle) {
+  PipelineProgram program = tiny_program();
+  RecircEdge loop;
+  loop.from_pass = 0;
+  loop.to_pass = 0;
+  loop.bounded = false;
+  loop.reason = "test loop";
+  program.recirc.push_back(loop);
+  const CheckReport report = check(program, tofino1_profile());
+  ASSERT_TRUE(report.has_rule(Rule::kRecirculation)) << report.to_string();
+  bool mentions_termination = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    mentions_termination |= d.message.find("termination") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_termination);
+}
+
+TEST(Checker, RecirculationRejectsUnbudgetedEdge) {
+  PipelineProgram program = tiny_program();
+  Pass second;
+  second.name = "recirculated";
+  program.passes.push_back(second);
+  RecircEdge edge;
+  edge.from_pass = 0;
+  edge.to_pass = 1;
+  edge.bounded = false;
+  edge.reason = "test edge";
+  program.recirc.push_back(edge);
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kRecirculation)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// DPL006 register width sufficiency for seq/ack arithmetic.
+
+TEST(Checker, RegisterWidthPassesAt32Bits) {
+  EXPECT_FALSE(check(tiny_program(), tofino1_profile())
+                   .has_rule(Rule::kRegisterWidth));
+}
+
+TEST(Checker, RegisterWidthRejectsNarrowSeqRegisters) {
+  PipelineProgram program = tiny_program();
+  program.tables.front().width_bits = 16;
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kRegisterWidth)) << report.to_string();
+}
+
+TEST(Checker, RegisterWidthIgnoresNonSeqTables) {
+  PipelineProgram program = tiny_program();
+  program.tables.front().width_bits = 16;
+  program.tables.front().holds_seq_arith = false;
+  EXPECT_FALSE(
+      check(program, tofino1_profile()).has_rule(Rule::kRegisterWidth));
+}
+
+// ---------------------------------------------------------------------------
+// DPL007 memory budgets via check_deployment.
+
+TEST(Checker, MemoryBudgetPassesForPaperLayout) {
+  EXPECT_FALSE(
+      check_deployment(DartLayout{}, paper_shape(), tofino1_profile())
+          .has_rule(Rule::kMemoryBudget));
+}
+
+TEST(Checker, MemoryBudgetRejectsOversizedRangeTracker) {
+  DartLayout layout;
+  layout.rt_slots = 1ULL << 26;
+  const CheckReport report =
+      check_deployment(layout, paper_shape(), tofino1_profile());
+  ASSERT_TRUE(report.has_rule(Rule::kMemoryBudget)) << report.to_string();
+  bool mentions_sram = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    mentions_sram |= d.message.find("SRAM") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_sram);
+}
+
+TEST(Checker, MemoryBudgetRejectsTcamFlood) {
+  DartLayout layout;
+  layout.flow_filter_rules = 200000;
+  const CheckReport report =
+      check_deployment(layout, paper_shape(), tofino1_profile());
+  ASSERT_TRUE(report.has_rule(Rule::kMemoryBudget)) << report.to_string();
+  bool mentions_tcam = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    mentions_tcam |= d.message.find("TCAM") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_tcam);
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing.
+
+TEST(Checker, DiagnosticCodesAreStable) {
+  EXPECT_EQ(rule_code(Rule::kConfig), "DPL000");
+  EXPECT_EQ(rule_code(Rule::kSingleAccessPerPass), "DPL001");
+  EXPECT_EQ(rule_code(Rule::kRmwSingleStage), "DPL002");
+  EXPECT_EQ(rule_code(Rule::kStagePlacement), "DPL003");
+  EXPECT_EQ(rule_code(Rule::kStageBudget), "DPL004");
+  EXPECT_EQ(rule_code(Rule::kRecirculation), "DPL005");
+  EXPECT_EQ(rule_code(Rule::kRegisterWidth), "DPL006");
+  EXPECT_EQ(rule_code(Rule::kMemoryBudget), "DPL007");
+}
+
+TEST(Checker, ReportContainsPlacementTableAndVerdict) {
+  const CheckReport report =
+      check_deployment(DartLayout{}, paper_shape(), tofino1_profile());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("range_tracker"), std::string::npos);
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("stages used"), std::string::npos);
+}
+
+TEST(Checker, InfeasibleReportPrintsErrorCodes) {
+  MonitorShape shape = paper_shape();
+  shape.pt_stages = 4;
+  const CheckReport report =
+      check_deployment(DartLayout{}, shape, tofino1_profile());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("error[DPL003]"), std::string::npos) << text;
+  EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dart::dataplane::verify

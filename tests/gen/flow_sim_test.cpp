@@ -178,7 +178,9 @@ TEST(FlowSim, NoReorderingWithoutImpairments) {
   bool first = true;
   for (const auto& p : trace.packets()) {
     if (p.outbound && p.payload > 0) {
-      if (!first) EXPECT_TRUE(seq_gt(p.seq, highest));
+      if (!first) {
+        EXPECT_TRUE(seq_gt(p.seq, highest));
+      }
       highest = p.seq;
       first = false;
     }

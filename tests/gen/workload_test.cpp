@@ -83,7 +83,8 @@ TEST(Campus, WirelessInternalRttsExceedWired) {
   }
   ASSERT_GT(wired_n, 50U);
   ASSERT_GT(wireless_n, 50U);
-  EXPECT_GT(wireless_sum / wireless_n, 2.0 * (wired_sum / wired_n));
+  EXPECT_GT(wireless_sum / static_cast<double>(wireless_n),
+            2.0 * (wired_sum / static_cast<double>(wired_n)));
 }
 
 TEST(SynFlood, OnlySynsNoState) {
