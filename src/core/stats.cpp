@@ -4,6 +4,28 @@
 
 namespace dart::core {
 
+RuntimeHealth& RuntimeHealth::operator+=(const RuntimeHealth& other) {
+  shed_batches += other.shed_batches;
+  shed_packets += other.shed_packets;
+  backpressure_events += other.backpressure_events;
+  backoff_sleeps += other.backoff_sleeps;
+  workers_killed += other.workers_killed;
+  forced_detaches += other.forced_detaches;
+  abandoned_packets += other.abandoned_packets;
+  return *this;
+}
+
+std::string RuntimeHealth::summary() const {  // hotpath-ok: reporting only
+  std::string out;  // hotpath-ok: end-of-run formatting
+  out += "shed=" + format_count(shed_packets) + "pkt/" +
+         format_count(shed_batches) + "batch";
+  out += " backpressure=" + format_count(backpressure_events);
+  out += " killed=" + format_count(workers_killed);
+  out += " detached=" + format_count(forced_detaches);
+  out += " abandoned=" + format_count(abandoned_packets);
+  return out;
+}
+
 DartStats& DartStats::operator+=(const DartStats& other) {
   packets_processed += other.packets_processed;
   filtered_packets += other.filtered_packets;
@@ -36,6 +58,7 @@ DartStats& DartStats::operator+=(const DartStats& other) {
   drops_shadow += other.drops_shadow;
   drops_policy += other.drops_policy;
   samples += other.samples;
+  runtime += other.runtime;
   return *this;
 }
 
@@ -51,6 +74,7 @@ std::string DartStats::summary() const {  // hotpath-ok: reporting only
   out += " drops(budget/stale/cycle/useless)=" + format_count(drops_budget) +
          "/" + format_count(drops_stale) + "/" + format_count(drops_cycle) +
          "/" + format_count(drops_useless);
+  if (runtime.degraded()) out += " [degraded: " + runtime.summary() + "]";
   return out;
 }
 

@@ -9,6 +9,40 @@
 
 namespace dart::core {
 
+/// Health counters of the replay *runtime* around a monitor: what the
+/// sharded router shed or abandoned when a worker fell behind, died, or
+/// wedged. All zeros in a healthy run (and always in a single-threaded
+/// one); nonzero fields quantify exactly how much coverage was traded for
+/// liveness. Folded into DartStats so the merge path carries degradation
+/// accounting alongside the monitor counters.
+struct RuntimeHealth {
+  std::uint64_t shed_batches = 0;   ///< batches dropped by the OverloadPolicy
+  std::uint64_t shed_packets = 0;   ///< packets inside those batches
+  std::uint64_t backpressure_events = 0;  ///< flushes that found a full ring
+  std::uint64_t backoff_sleeps = 0;       ///< sleeps taken while backpressured
+  std::uint64_t workers_killed = 0;   ///< workers that exited mid-replay
+  std::uint64_t forced_detaches = 0;  ///< workers abandoned at join timeout
+  /// Packets handed to a worker that was later force-detached: neither
+  /// processed-and-merged nor shed, so they are unaccounted coverage loss.
+  std::uint64_t abandoned_packets = 0;
+
+  /// True when any coverage was lost (shedding, death, or abandonment).
+  /// Backpressure alone is not degradation — it is the design working.
+  bool degraded() const {
+    return shed_packets != 0 || workers_killed != 0 || forced_detaches != 0 ||
+           abandoned_packets != 0;
+  }
+
+  RuntimeHealth& operator+=(const RuntimeHealth& other);
+
+  friend RuntimeHealth operator+(RuntimeHealth lhs, const RuntimeHealth& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  std::string summary() const;  // hotpath-ok: end-of-run reporting
+};
+
 struct DartStats {
   // Input.
   std::uint64_t packets_processed = 0;
@@ -47,6 +81,11 @@ struct DartStats {
   std::uint64_t drops_policy = 0;   ///< kNeverEvict collisions
 
   std::uint64_t samples = 0;
+
+  /// Degradation accounting of the runtime that drove this monitor. A bare
+  /// DartMonitor never touches it; the sharded runtime fills it per shard
+  /// and the merge path sums it like every other counter.
+  RuntimeHealth runtime;
 
   /// Fold another monitor's counters into this one. Every field is a sum,
   /// so merging per-shard stats from a flow-partitioned run reproduces the

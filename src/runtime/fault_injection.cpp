@@ -1,0 +1,103 @@
+#include "runtime/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/hashing.hpp"
+
+namespace dart::runtime {
+
+FaultPlan::ShardFaults& FaultPlan::shard_faults(std::uint32_t shard) {
+  if (shards_.size() <= shard) {
+    while (shards_.size() <= shard) {
+      auto& state = shards_.emplace_back();
+      state.jitter_rng =
+          Rng{mix64(seed_ ^ (0x9E3779B97F4A7C15ULL *
+                             (static_cast<std::uint64_t>(shards_.size()))))};
+    }
+  }
+  return shards_[shard];
+}
+
+FaultPlan& FaultPlan::stall(std::uint32_t shard, std::uint64_t first_batch,
+                            std::uint64_t batches, std::uint64_t delay_ns) {
+  ShardFaults& state = shard_faults(shard);
+  state.stall_first = first_batch;
+  state.stall_count = batches;
+  state.stall_delay_ns = delay_ns;
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill(std::uint32_t shard, std::uint64_t after_batches) {
+  shard_faults(shard).kill_after = after_batches;
+  return *this;
+}
+
+FaultPlan& FaultPlan::hang(std::uint32_t shard, std::uint64_t at_batch) {
+  shard_faults(shard).hang_at = at_batch;
+  return *this;
+}
+
+FaultPlan& FaultPlan::jitter(std::uint32_t shard,
+                             std::uint64_t max_delay_ns) {
+  shard_faults(shard).jitter_max_ns = max_delay_ns;
+  return *this;
+}
+
+FaultPlan::Action FaultPlan::before_pop(std::uint32_t shard,
+                                        std::uint64_t batches_done) {
+  if (shard >= shards_.size()) return Action::kContinue;
+  ShardFaults& state = shards_[shard];
+  if (!state.hang_fired && batches_done >= state.hang_at) {
+    state.hang_fired = true;  // one-shot: after release the worker resumes
+    std::unique_lock<std::mutex> lock(hang_mutex_);
+    hang_cv_.wait(lock, [this] { return hangs_released_; });
+  }
+  if (batches_done >= state.kill_after) return Action::kExit;
+  return Action::kContinue;
+}
+
+void FaultPlan::after_pop(std::uint32_t shard, std::uint64_t batch_index) {
+  if (shard >= shards_.size()) return;
+  ShardFaults& state = shards_[shard];
+  std::uint64_t delay_ns = 0;
+  if (batch_index >= state.stall_first &&
+      batch_index - state.stall_first < state.stall_count) {
+    delay_ns += state.stall_delay_ns;
+  }
+  if (state.jitter_max_ns > 0) {
+    delay_ns += state.jitter_rng.uniform_int(0, state.jitter_max_ns - 1);
+  }
+  if (delay_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+  }
+}
+
+void FaultPlan::release_hangs() {
+  {
+    std::lock_guard<std::mutex> lock(hang_mutex_);
+    hangs_released_ = true;
+  }
+  hang_cv_.notify_all();
+}
+
+bool FaultPlan::hangs_released() const {
+  std::lock_guard<std::mutex> lock(hang_mutex_);
+  return hangs_released_;
+}
+
+void inject_timestamp_skew(std::vector<PacketRecord>& packets,
+                           std::uint64_t seed, std::uint64_t max_skew_ns) {
+  if (max_skew_ns == 0) return;
+  Rng rng(mix64(seed ^ 0xC0FF'EE5E'ED00ULL));
+  for (PacketRecord& packet : packets) {
+    const std::uint64_t magnitude = rng.uniform_int(0, max_skew_ns);
+    if (rng.bernoulli(0.5)) {
+      packet.ts += magnitude;
+    } else {
+      packet.ts -= std::min(packet.ts, magnitude);
+    }
+  }
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,116 @@
+// Deterministic fault injection for the sharded replay runtime.
+//
+// The chaos suite (tests/runtime/chaos_test.cpp) needs to reproduce, on
+// demand and bit-for-bit, the failure modes the paper designs against in
+// spirit (Sections 3.1 and 7: the monitor must stay live under whatever the
+// network — or here, the host — throws at it):
+//
+//   stall   — a worker sleeps before each batch in a window, so its ring
+//             backs up and the router's OverloadPolicy engages;
+//   kill    — a worker exits cleanly after processing exactly N batches,
+//             so everything routed past that point must be shed and
+//             accounted (the deterministic-shedding scenario);
+//   hang    — a worker blocks inside the hook until release_hangs(); the
+//             runtime's join timeout must force-detach it, never deadlock;
+//   jitter  — seeded random per-batch consumption delays, forcing
+//             ring-full backpressure without any shedding.
+//
+// Hooks are invoked by ShardedMonitor's worker loop at *batch* granularity
+// only, and only when the translation units are compiled with
+// -DDART_FAULT_INJECTION=1 (cmake option DART_FAULT_INJECTION). In a
+// release build the hook sites compile out entirely: the per-packet path is
+// identical with and without the harness.
+//
+// Thread-safety: plans must be fully built before workers start. Each
+// shard's mutable hook state is touched only by that shard's worker; the
+// hang release flag is the only cross-thread channel (mutex + condvar).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/packet.hpp"
+#include "common/random.hpp"
+
+namespace dart::runtime {
+
+class FaultPlan {
+ public:
+  enum class Action : std::uint8_t { kContinue, kExit };
+
+  /// `seed` drives the jitter fault's per-shard random delay streams (and
+  /// nothing else); two plans with the same seed and the same fault calls
+  /// behave identically.
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Sleep `delay_ns` before each of batches [first_batch, first_batch +
+  /// batches) processed by `shard`.
+  FaultPlan& stall(std::uint32_t shard, std::uint64_t first_batch,
+                   std::uint64_t batches, std::uint64_t delay_ns);
+
+  /// Worker `shard` exits its loop after processing exactly `after_batches`
+  /// batches; the runtime sheds whatever it never consumed.
+  FaultPlan& kill(std::uint32_t shard, std::uint64_t after_batches);
+
+  /// Worker `shard` blocks once it has processed `at_batch` batches, until
+  /// release_hangs() is called (or forever, if it never is).
+  FaultPlan& hang(std::uint32_t shard, std::uint64_t at_batch);
+
+  /// Seeded uniform delay in [0, max_delay_ns) before every batch of
+  /// `shard`.
+  FaultPlan& jitter(std::uint32_t shard, std::uint64_t max_delay_ns);
+
+  /// Worker hook: called before each pop attempt with the number of batches
+  /// this worker has fully processed. kExit means "die now" (kill fault);
+  /// the hang fault blocks inside this call.
+  Action before_pop(std::uint32_t shard, std::uint64_t batches_done);
+
+  /// Worker hook: called after a successful pop, before the batch is
+  /// processed; applies stall / jitter delays.
+  void after_pop(std::uint32_t shard, std::uint64_t batch_index);
+
+  /// Wake every worker blocked in a hang fault (idempotent).
+  void release_hangs();
+
+  bool hangs_released() const;
+
+ private:
+  struct ShardFaults {
+    // Stall window.
+    std::uint64_t stall_first = 0;
+    std::uint64_t stall_count = 0;
+    std::uint64_t stall_delay_ns = 0;
+    // Kill point (kuint64max = never).
+    std::uint64_t kill_after = ~std::uint64_t{0};
+    // Hang point (kuint64max = never) and whether it already fired.
+    std::uint64_t hang_at = ~std::uint64_t{0};
+    bool hang_fired = false;
+    // Jitter.
+    std::uint64_t jitter_max_ns = 0;
+    Rng jitter_rng{0};
+  };
+
+  ShardFaults& shard_faults(std::uint32_t shard);
+
+  std::uint64_t seed_;
+  std::vector<ShardFaults> shards_;
+
+  mutable std::mutex hang_mutex_;
+  std::condition_variable hang_cv_;
+  bool hangs_released_ = false;
+};
+
+/// Input-side fault (the "non-monotonic / skewed timestamps" scenario):
+/// deterministically perturb each packet's timestamp by a uniform offset in
+/// [-max_skew_ns, +max_skew_ns] (clamped at zero), seeded — the result is
+/// generally *not* time-ordered, which is exactly the point: a monitor fed
+/// by a damaged capture or a misbehaving clock must degrade, not misbehave.
+void inject_timestamp_skew(std::vector<PacketRecord>& packets,
+                           std::uint64_t seed, std::uint64_t max_skew_ns);
+
+}  // namespace dart::runtime

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "core/config_check.hpp"
+
+#if defined(DART_FAULT_INJECTION)
+#include "runtime/fault_injection.hpp"
+#endif
 
 namespace dart::runtime {
 
@@ -30,7 +35,11 @@ ShardedMonitor::~ShardedMonitor() { finish(); }
 void ShardedMonitor::start(MonitorFactory factory) {
   shards_.reserve(config_.shards);
   for (std::uint32_t i = 0; i < config_.shards; ++i) {
-    auto shard = std::make_unique<Shard>(config_.queue_batches);
+    auto shard = std::make_shared<Shard>(config_.queue_batches);
+    shard->index = i;
+#if defined(DART_FAULT_INJECTION)
+    shard->faults = config_.faults;
+#endif
     // The callback writes the worker-private log: the worker thread is the
     // only caller of monitor->process, hence the only writer.
     shard->monitor = factory(i, shard->samples.callback());
@@ -38,35 +47,52 @@ void ShardedMonitor::start(MonitorFactory factory) {
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
-    shard->thread = std::thread(&ShardedMonitor::worker_loop,
-                                std::ref(*shard));
+    // The worker keeps its own reference so a force-detached thread that
+    // wakes up after this monitor is destroyed still touches live memory.
+    shard->thread = std::thread(
+        [keepalive = shard] { worker_loop(*keepalive); });
   }
 }
 
 void ShardedMonitor::worker_loop(Shard& shard) {
   PacketBatch batch;
+  std::uint64_t batches_done = 0;
+  bool killed = false;
+  bool done_seen = false;
   for (;;) {
+#if defined(DART_FAULT_INJECTION)
+    if (shard.faults != nullptr &&
+        shard.faults->before_pop(shard.index, batches_done) ==
+            FaultPlan::Action::kExit) {
+      killed = true;
+      break;
+    }
+#endif
     if (shard.queue.try_pop(batch)) {
+#if defined(DART_FAULT_INJECTION)
+      if (shard.faults != nullptr) {
+        shard.faults->after_pop(shard.index, batches_done);
+      }
+#endif
       for (const PacketRecord& packet : batch) {
         shard.monitor->process(packet);
       }
       batch.clear();
+      ++batches_done;
       continue;
     }
+    // The done flag is published after the router's last push, so an empty
+    // pop observed *after* the flag means the ring is empty for good.
+    if (done_seen) break;
     if (shard.input_done.load(std::memory_order_acquire)) {
-      // The done flag was published after the router's last push, so one
-      // final drain observes every batch.
-      while (shard.queue.try_pop(batch)) {
-        for (const PacketRecord& packet : batch) {
-          shard.monitor->process(packet);
-        }
-        batch.clear();
-      }
-      break;
+      done_seen = true;
+      continue;  // one more pass drains anything pushed before the flag
     }
     std::this_thread::yield();
   }
+  if (killed) shard.dead.store(true, std::memory_order_release);
   shard.final_stats = shard.monitor->stats();
+  shard.exited.store(true, std::memory_order_release);
 }
 
 void ShardedMonitor::flush_shard(Shard& shard) {
@@ -74,11 +100,33 @@ void ShardedMonitor::flush_shard(Shard& shard) {
   PacketBatch batch = std::move(shard.pending);
   shard.pending.clear();  // moved-from: restore a defined empty state
   shard.pending.reserve(config_.batch_size);
-  while (!shard.queue.try_push(std::move(batch))) {
-    // Ring full: the shard is behind. Backpressure the router instead of
-    // buffering unboundedly.
-    std::this_thread::yield();
+  shard.routed_packets += batch.size();
+  push_or_shed(shard, std::move(batch));
+}
+
+void ShardedMonitor::push_or_shed(Shard& shard, PacketBatch&& batch) {
+  OverloadGovernor governor(config_.overload);
+  bool contended = false;
+  for (;;) {
+    // A dead worker consumes nothing ever again: shed without waiting.
+    if (shard.dead.load(std::memory_order_relaxed)) break;
+    if (shard.queue.try_push(std::move(batch))) return;
+    if (!contended) {
+      contended = true;
+      ++shard.health.backpressure_events;
+    }
+    const OverloadDecision decision = governor.next();
+    if (decision.action == OverloadAction::kShed) break;
+    if (decision.action == OverloadAction::kSleep) {
+      ++shard.health.backoff_sleeps;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(decision.sleep_ns));
+    } else {
+      std::this_thread::yield();
+    }
   }
+  ++shard.health.shed_batches;
+  shard.health.shed_packets += batch.size();
 }
 
 void ShardedMonitor::process(const PacketRecord& packet) {
@@ -92,6 +140,43 @@ void ShardedMonitor::process_all(std::span<const PacketRecord> packets) {
   for (const PacketRecord& packet : packets) process(packet);
 }
 
+void ShardedMonitor::join_or_detach(Shard& shard) {
+  if (!shard.thread.joinable()) return;
+  if (config_.join_timeout_ns == 0) {
+    shard.thread.join();
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(config_.join_timeout_ns);
+  while (!shard.exited.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The worker is wedged. Abandon it with a diagnostic rather than
+      // hanging shutdown forever; its keepalive reference makes a later
+      // wake-up safe, and its results are written off as abandoned.
+      shard.thread.detach();
+      shard.detached = true;
+      shard.health.forced_detaches = 1;
+      shard.health.abandoned_packets =
+          shard.routed_packets - shard.health.shed_packets;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  shard.thread.join();
+}
+
+void ShardedMonitor::drain_as_shed(Shard& shard) {
+  // Only called after the worker has exited (acquire on `exited` +
+  // join), so this thread is the sole consumer of the ring.
+  PacketBatch batch;
+  while (shard.queue.try_pop(batch)) {
+    ++shard.health.shed_batches;
+    shard.health.shed_packets += batch.size();
+    batch.clear();
+  }
+}
+
 void ShardedMonitor::finish() {
   if (finished_) return;
   finished_ = true;
@@ -101,41 +186,79 @@ void ShardedMonitor::finish() {
   }
   // Join only after every shard got its done flag, so workers drain in
   // parallel rather than serially behind the first join.
+  for (auto& shard : shards_) join_or_detach(*shard);
   for (auto& shard : shards_) {
-    if (shard->thread.joinable()) shard->thread.join();
+    if (shard->detached) {
+      // Worker may still be running: its monitor stats and samples are
+      // unreadable. Report only the router-side accounting.
+      shard->result = core::DartStats{};
+    } else {
+      if (shard->dead.load(std::memory_order_acquire)) {
+        shard->health.workers_killed = 1;
+        drain_as_shed(*shard);
+      }
+      shard->result = shard->final_stats;
+    }
+    shard->result.runtime = shard->health;
   }
 }
 
 const analytics::SampleLog& ShardedMonitor::shard_samples(
     std::uint32_t shard) const {
   assert(finished_ && "results require finish()");
+  static const analytics::SampleLog kEmpty;
+  if (shards_[shard]->detached) return kEmpty;
   return shards_[shard]->samples;
 }
 
 core::DartStats ShardedMonitor::shard_stats(std::uint32_t shard) const {
   assert(finished_ && "results require finish()");
-  return shards_[shard]->final_stats;
+  return shards_[shard]->result;
 }
 
 core::DartStats ShardedMonitor::merged_stats() const {
   assert(finished_ && "results require finish()");
   core::DartStats merged;
-  for (const auto& shard : shards_) merged += shard->final_stats;
+  for (const auto& shard : shards_) merged += shard->result;
+  return merged;
+}
+
+core::RuntimeHealth ShardedMonitor::health() const {
+  assert(finished_ && "results require finish()");
+  core::RuntimeHealth merged;
+  for (const auto& shard : shards_) merged += shard->health;
   return merged;
 }
 
 std::vector<core::RttSample> ShardedMonitor::merged_samples() const {
   assert(finished_ && "results require finish()");
   std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard->samples.size();
+  for (const auto& shard : shards_) {
+    if (!shard->detached) total += shard->samples.size();
+  }
   std::vector<core::RttSample> merged;
   merged.reserve(total);
   for (const auto& shard : shards_) {
+    if (shard->detached) continue;
     const auto& samples = shard->samples.samples();
     merged.insert(merged.end(), samples.begin(), samples.end());
   }
   deterministic_order(merged);
   return merged;
+}
+
+bool ShardedMonitor::await_detached(std::uint64_t timeout_ns) const {
+  assert(finished_ && "await_detached() requires finish()");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  for (const auto& shard : shards_) {
+    if (!shard->detached) continue;
+    while (!shard->exited.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return true;
 }
 
 void deterministic_order(std::vector<core::RttSample>& samples) {

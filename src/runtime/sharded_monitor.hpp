@@ -20,6 +20,20 @@
 // so equal multisets compare equal as vectors. Bounded tables shared by
 // many flows break this equivalence by design (shards see different
 // collision patterns); the differential tests pin down both regimes.
+//
+// Graceful degradation: backpressure is *bounded*. When a shard's ring
+// stays full past the OverloadPolicy's deadline (spin -> exponential
+// backoff -> shed), the router drops that batch and accounts it in the
+// shard's RuntimeHealth (shed_batches / shed_packets) instead of freezing
+// the whole pipeline behind one sick worker — the invariant is
+//
+//     processed + shed + abandoned == routed        (per shard and merged)
+//
+// where `abandoned` is nonzero only for a worker that wedged so hard the
+// shutdown join timed out and the runtime force-detached it. A worker that
+// exits early (a kill fault, or a crash-turned-clean-exit) flips its dead
+// flag; the router then sheds immediately and finish() drains and accounts
+// whatever was left in the ring. See DESIGN.md "Failure model".
 #pragma once
 
 #include <cstdint>
@@ -33,11 +47,16 @@
 #include "core/config.hpp"
 #include "core/rtt_sample.hpp"
 #include "core/stats.hpp"
+#include "runtime/overload_policy.hpp"
 #include "runtime/replay_monitor.hpp"
 #include "runtime/shard_router.hpp"
 #include "runtime/spsc_ring.hpp"
 
 namespace dart::runtime {
+
+#if defined(DART_FAULT_INJECTION)
+class FaultPlan;
+#endif
 
 struct ShardedConfig {
   /// Number of worker threads / monitor partitions (>= 1).
@@ -53,6 +72,23 @@ struct ShardedConfig {
 
   /// Routing hash seed; independent of the monitors' table hash seeds.
   std::uint64_t route_seed = 0xDA27'0002;
+
+  /// How hard the router waits on a full ring before shedding the batch.
+  OverloadPolicy overload;
+
+  /// How long finish() waits for a worker to exit before force-detaching
+  /// it (diagnosed in RuntimeHealth::forced_detaches). After end-of-input a
+  /// healthy worker only has the ring's backlog left, so this bounds
+  /// shutdown: it fires only for a genuinely wedged worker. 0 waits
+  /// forever (the pre-timeout behavior).
+  std::uint64_t join_timeout_ns = 30'000'000'000ULL;  // 30 s
+
+#if defined(DART_FAULT_INJECTION)
+  /// Fault-injection hooks for the chaos suite; must outlive the monitor
+  /// (or at least every worker). Only exists in DART_FAULT_INJECTION
+  /// builds — the release worker loop contains no hook sites at all.
+  FaultPlan* faults = nullptr;
+#endif
 };
 
 class ShardedMonitor {
@@ -78,23 +114,36 @@ class ShardedMonitor {
   /// Route a whole time-ordered stream.
   void process_all(std::span<const PacketRecord> packets);
 
-  /// Flush partial batches, signal end-of-stream, and join all workers.
-  /// Idempotent. Results are available afterwards.
+  /// Flush partial batches, signal end-of-stream, and join all workers
+  /// (bounded by join_timeout_ns per worker). Idempotent. Results are
+  /// available afterwards.
   void finish();
 
   std::uint32_t shards() const { return router_.shards(); }
   const ShardedConfig& config() const { return config_; }
 
-  /// Per-shard results; valid only after finish().
+  /// Per-shard results; valid only after finish(). A force-detached
+  /// shard's samples are unreadable (its worker may still touch them) and
+  /// come back empty; its stats carry only the RuntimeHealth accounting.
   const analytics::SampleLog& shard_samples(std::uint32_t shard) const;
   core::DartStats shard_stats(std::uint32_t shard) const;
 
-  /// Sum of all per-shard counters; valid only after finish().
+  /// Sum of all per-shard counters (including RuntimeHealth); valid only
+  /// after finish().
   core::DartStats merged_stats() const;
 
+  /// Merged degradation accounting alone; valid only after finish().
+  core::RuntimeHealth health() const;
+
   /// All shards' samples in the canonical `sample_less` order — the
-  /// deterministic merge. Valid only after finish().
+  /// deterministic merge. Valid only after finish(); skips force-detached
+  /// shards (their logs are not safely readable).
   std::vector<core::RttSample> merged_samples() const;
+
+  /// Wait up to `timeout_ns` for any force-detached workers to finally
+  /// exit (e.g. after a fault plan released a hang). Returns true when
+  /// none remain running. Valid only after finish().
+  bool await_detached(std::uint64_t timeout_ns) const;
 
  private:
   using PacketBatch = std::vector<PacketRecord>;
@@ -108,16 +157,32 @@ class ShardedMonitor {
     core::DartStats final_stats;             // written by worker before exit
     PacketBatch pending;                     // router-side accumulation
     std::thread thread;
+    std::uint32_t index = 0;
     std::atomic<bool> input_done{false};
+    std::atomic<bool> dead{false};    // worker exited before end-of-input
+    std::atomic<bool> exited{false};  // worker loop finished (all paths)
+    bool detached = false;            // join timed out; worker abandoned
+    std::uint64_t routed_packets = 0;      // router-side: handed to flush
+    core::RuntimeHealth health;            // router-side accounting
+    core::DartStats result;                // snapshot assembled by finish()
+#if defined(DART_FAULT_INJECTION)
+    FaultPlan* faults = nullptr;
+#endif
   };
 
   void start(MonitorFactory factory);
   void flush_shard(Shard& shard);
+  void push_or_shed(Shard& shard, PacketBatch&& batch);
+  void join_or_detach(Shard& shard);
+  static void drain_as_shed(Shard& shard);
   static void worker_loop(Shard& shard);
 
   ShardedConfig config_;
   ShardRouter router_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // shared_ptr, not unique_ptr: each worker holds a reference to its own
+  // Shard, so a force-detached worker that wakes up later still touches
+  // live memory even after the ShardedMonitor is gone.
+  std::vector<std::shared_ptr<Shard>> shards_;
   bool finished_ = false;
 };
 

@@ -29,9 +29,18 @@ inline constexpr std::size_t kCacheLine = 64;
 template <typename T>
 class SpscRing {
  public:
-  /// `capacity` is rounded up to a power of two (minimum 2) so index
-  /// wrapping is a mask, not a modulo.
+  /// Largest capacity a ring will allocate. Requests beyond it are clamped,
+  /// not honored: the rounding loop below would otherwise overflow the
+  /// power-of-two accumulator to zero and spin forever on huge requests
+  /// (and any such request is a caller bug — this runtime sizes rings in
+  /// batches, thousands at most). 2^20 slots of batch pointers is already
+  /// far past any useful backlog.
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 20;
+
+  /// `capacity` is rounded up to a power of two (minimum 2, maximum
+  /// kMaxCapacity) so index wrapping is a mask, not a modulo.
   explicit SpscRing(std::size_t capacity) {
+    if (capacity > kMaxCapacity) capacity = kMaxCapacity;
     std::size_t rounded = 2;
     while (rounded < capacity) rounded <<= 1;
     slots_.resize(rounded);

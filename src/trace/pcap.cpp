@@ -1,5 +1,6 @@
 #include "trace/pcap.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <fstream>
@@ -55,8 +56,15 @@ bool write_pcap(const Trace& trace, std::ostream& out) {
 
   std::array<std::uint8_t, kFrameLen> frame{};
   for (const PacketRecord& p : trace.packets()) {
-    const std::uint16_t ip_total =
-        static_cast<std::uint16_t>(kIpLen + kTcpLen + p.payload);
+    // The IPv4 total-length field is 16 bits; payloads above 65495 bytes
+    // (65535 - the two header lengths) cannot be represented and used to
+    // wrap silently to a tiny bogus length. Clamp to the field's maximum
+    // instead: the capture stays parseable and the on-wire length is the
+    // closest representable value.
+    const std::uint32_t ip_total_wide =
+        static_cast<std::uint32_t>(kIpLen + kTcpLen) + p.payload;
+    const std::uint16_t ip_total = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(ip_total_wide, 65535));
 
     // Record header.
     put_host<std::uint32_t>(out,

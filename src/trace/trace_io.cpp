@@ -1,8 +1,11 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <limits>
 #include <ostream>
 
 namespace dart::trace {
@@ -21,19 +24,6 @@ void put(std::ostream& out, T value) {
   out.write(bytes.data(), bytes.size());
 }
 
-template <typename T>
-bool get(std::istream& in, T& value) {
-  std::array<char, sizeof(T)> bytes;
-  if (!in.read(bytes.data(), bytes.size())) return false;
-  std::uint64_t accum = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    accum |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[i]))
-             << (8 * i);
-  }
-  value = static_cast<T>(accum);
-  return true;
-}
-
 void put_tuple(std::ostream& out, const FourTuple& tuple) {
   put<std::uint32_t>(out, tuple.src_ip.value());
   put<std::uint32_t>(out, tuple.dst_ip.value());
@@ -41,19 +31,93 @@ void put_tuple(std::ostream& out, const FourTuple& tuple) {
   put<std::uint16_t>(out, tuple.dst_port);
 }
 
-bool get_tuple(std::istream& in, FourTuple& tuple) {
-  std::uint32_t src = 0;
-  std::uint32_t dst = 0;
-  if (!get(in, src) || !get(in, dst) || !get(in, tuple.src_port) ||
-      !get(in, tuple.dst_port)) {
-    return false;
+/// Byte-counting little-endian reader: every failure site knows the stream
+/// offset it stopped at, so TraceError can point at the damage.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool get(T& value) {
+    std::array<char, sizeof(T)> bytes;
+    if (!in_.read(bytes.data(), bytes.size())) return false;
+    offset_ += sizeof(T);
+    std::uint64_t accum = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      accum |= static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(bytes[i]))
+               << (8 * i);
+    }
+    value = static_cast<T>(accum);
+    return true;
   }
-  tuple.src_ip = Ipv4Addr{src};
-  tuple.dst_ip = Ipv4Addr{dst};
-  return true;
+
+  bool get_tuple(FourTuple& tuple) {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    if (!get(src) || !get(dst) || !get(tuple.src_port) ||
+        !get(tuple.dst_port)) {
+      return false;
+    }
+    tuple.src_ip = Ipv4Addr{src};
+    tuple.dst_ip = Ipv4Addr{dst};
+    return true;
+  }
+
+  bool get_magic(std::array<char, 4>& magic) {
+    if (!in_.read(magic.data(), magic.size())) return false;
+    offset_ += magic.size();
+    return true;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+
+  /// Bytes from the current position to end-of-stream, when the stream is
+  /// seekable; nullopt otherwise (e.g. a pipe).
+  std::optional<std::uint64_t> remaining() {
+    const auto pos = in_.tellg();
+    if (pos == std::istream::pos_type(-1)) return std::nullopt;
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    in_.seekg(pos);
+    if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+    return static_cast<std::uint64_t>(end - pos);
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
+
+TraceReadResult fail(TraceErrorCode code, std::uint64_t offset) {
+  TraceReadResult result;
+  result.error = {code, offset};
+  return result;
 }
 
 }  // namespace
+
+const char* to_string(TraceErrorCode code) {
+  switch (code) {
+    case TraceErrorCode::kNone: return "none";
+    case TraceErrorCode::kIoError: return "I/O error";
+    case TraceErrorCode::kBadMagic: return "bad magic";
+    case TraceErrorCode::kBadVersion: return "unsupported version";
+    case TraceErrorCode::kTruncatedHeader: return "truncated header";
+    case TraceErrorCode::kImpossibleCount: return "impossible record count";
+    case TraceErrorCode::kTruncatedPacket: return "truncated packet record";
+    case TraceErrorCode::kTruncatedTruth: return "truncated truth record";
+    case TraceErrorCode::kBadFieldValue: return "out-of-range field value";
+  }
+  return "unknown";
+}
+
+std::string TraceError::to_string() const {
+  std::string out = trace::to_string(code);
+  out += " at byte ";
+  out += std::to_string(offset);
+  return out;
+}
 
 bool write_binary(const Trace& trace, std::ostream& out) {
   out.write(kMagic.data(), kMagic.size());
@@ -83,42 +147,145 @@ bool write_binary_file(const Trace& trace, const std::string& path) {
   return out && write_binary(trace, out);
 }
 
-std::optional<Trace> read_binary(std::istream& in) {
+TraceReadResult read_binary_checked(std::istream& in,
+                                    const TraceReadOptions& options) {
+  Reader reader(in);
+  if (!in.good()) return fail(TraceErrorCode::kIoError, 0);
+
+  // --- Header: damage here is fatal in every mode. ---
   std::array<char, 4> magic;
-  if (!in.read(magic.data(), magic.size()) || magic != kMagic) {
-    return std::nullopt;
+  if (!reader.get_magic(magic)) {
+    return fail(TraceErrorCode::kTruncatedHeader, reader.offset());
   }
+  if (magic != kMagic) return fail(TraceErrorCode::kBadMagic, 0);
   std::uint32_t version = 0;
   std::uint64_t packet_count = 0;
   std::uint64_t truth_count = 0;
-  if (!get(in, version) || version != kTraceFormatVersion ||
-      !get(in, packet_count) || !get(in, truth_count)) {
-    return std::nullopt;
+  if (!reader.get(version)) {
+    return fail(TraceErrorCode::kTruncatedHeader, reader.offset());
+  }
+  if (version != kTraceFormatVersion) {
+    return fail(TraceErrorCode::kBadVersion, reader.offset() - 4);
+  }
+  if (!reader.get(packet_count) || !reader.get(truth_count)) {
+    return fail(TraceErrorCode::kTruncatedHeader, reader.offset());
   }
 
+  // --- Count sanity: never trust a header enough to allocate for it. A
+  // corrupt count either provably exceeds the stream (seekable: reject or
+  // tolerate as full-stream truncation) or is capped for reservation so a
+  // hostile header cannot demand terabytes before the first record fails.
+  const std::optional<std::uint64_t> remaining = reader.remaining();
+  bool counts_impossible = false;
+  if (remaining.has_value()) {
+    const std::uint64_t max_packets = *remaining / kPacketRecordBytes;
+    const std::uint64_t max_truth = *remaining / kTruthRecordBytes;
+    if (packet_count > max_packets || truth_count > max_truth ||
+        (packet_count * kPacketRecordBytes +
+             truth_count * kTruthRecordBytes >
+         *remaining)) {
+      counts_impossible = true;
+    }
+  }
+  if (counts_impossible && !options.tolerant) {
+    return fail(TraceErrorCode::kImpossibleCount, kHeaderBytes - 16);
+  }
+
+  TraceReadResult result;
+  if (counts_impossible) {
+    result.error = {TraceErrorCode::kImpossibleCount, kHeaderBytes - 16};
+  }
   Trace trace;
-  trace.packets().reserve(packet_count);
+  const std::uint64_t reserve_cap =
+      remaining.has_value() ? *remaining / kPacketRecordBytes
+                            : std::uint64_t{1} << 20;
+  trace.packets().reserve(static_cast<std::size_t>(
+      std::min(packet_count, reserve_cap)));
+
+  // --- Packet records. ---
   for (std::uint64_t i = 0; i < packet_count; ++i) {
+    const std::uint64_t record_start = reader.offset();
     PacketRecord p;
     std::uint8_t outbound = 0;
-    if (!get(in, p.ts) || !get_tuple(in, p.tuple) || !get(in, p.seq) ||
-        !get(in, p.ack) || !get(in, p.payload) || !get(in, p.flags) ||
-        !get(in, outbound)) {
-      return std::nullopt;
+    if (!reader.get(p.ts) || !reader.get_tuple(p.tuple) ||
+        !reader.get(p.seq) || !reader.get(p.ack) || !reader.get(p.payload) ||
+        !reader.get(p.flags) || !reader.get(outbound)) {
+      if (!options.tolerant) {
+        return fail(TraceErrorCode::kTruncatedPacket, record_start);
+      }
+      if (!result.error) {
+        result.error = {TraceErrorCode::kTruncatedPacket, record_start};
+      }
+      result.lost_records += (packet_count - i) + truth_count;
+      result.trace = std::move(trace);
+      return result;
+    }
+    if (outbound > 1) {
+      if (!options.tolerant) {
+        return fail(TraceErrorCode::kBadFieldValue, record_start);
+      }
+      if (!result.error) {
+        result.error = {TraceErrorCode::kBadFieldValue, record_start};
+      }
+      ++result.skipped_records;
+      continue;
     }
     p.outbound = outbound != 0;
     trace.add(p);
+    ++result.packets_read;
   }
-  trace.truth().reserve(truth_count);
+
+  // --- Truth records. ---
+  trace.truth().reserve(static_cast<std::size_t>(
+      std::min(truth_count, remaining.has_value()
+                                ? *remaining / kTruthRecordBytes
+                                : std::uint64_t{1} << 20)));
   for (std::uint64_t i = 0; i < truth_count; ++i) {
+    const std::uint64_t record_start = reader.offset();
     TruthSample s;
-    if (!get_tuple(in, s.tuple) || !get(in, s.eack) || !get(in, s.seq_ts) ||
-        !get(in, s.ack_ts)) {
-      return std::nullopt;
+    if (!reader.get_tuple(s.tuple) || !reader.get(s.eack) ||
+        !reader.get(s.seq_ts) || !reader.get(s.ack_ts)) {
+      if (!options.tolerant) {
+        return fail(TraceErrorCode::kTruncatedTruth, record_start);
+      }
+      if (!result.error) {
+        result.error = {TraceErrorCode::kTruncatedTruth, record_start};
+      }
+      result.lost_records += truth_count - i;
+      result.trace = std::move(trace);
+      return result;
+    }
+    // A truth RTT must be non-negative: ack observed before its data
+    // packet is an impossible record, not a measurement.
+    if (s.ack_ts < s.seq_ts) {
+      if (!options.tolerant) {
+        return fail(TraceErrorCode::kBadFieldValue, record_start);
+      }
+      if (!result.error) {
+        result.error = {TraceErrorCode::kBadFieldValue, record_start};
+      }
+      ++result.skipped_records;
+      continue;
     }
     trace.add_truth(s);
+    ++result.truth_read;
   }
-  return trace;
+
+  result.trace = std::move(trace);
+  return result;
+}
+
+TraceReadResult read_binary_checked_file(const std::string& path,
+                                         const TraceReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(TraceErrorCode::kIoError, 0);
+  return read_binary_checked(in, options);
+}
+
+std::optional<Trace> read_binary(std::istream& in) {
+  TraceReadResult result = read_binary_checked(in);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.trace);
 }
 
 std::optional<Trace> read_binary_file(const std::string& path) {

@@ -8,8 +8,18 @@
 //            u32 seq | u32 ack | u16 payload | u8 flags | u8 outbound
 //   truth:   u32 src_ip | u32 dst_ip | u16 sport | u16 dport | u32 eack |
 //            u64 seq_ts | u64 ack_ts
+//
+// Reading is hardened: a damaged capture is a *diagnosed* condition, never
+// undefined behaviour. read_binary_checked() returns a typed TraceError
+// (what went wrong, at which byte offset) plus per-record accounting; a
+// tolerant mode mirrors how a real collector must survive a corrupt
+// capture — skip bad records, keep the readable prefix of a truncated
+// file, and count what was lost instead of aborting. Declared record
+// counts are validated against the stream size before any allocation, so
+// a corrupt header cannot demand terabytes of memory.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -20,11 +30,83 @@ namespace dart::trace {
 
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
 
+/// Serialized sizes (bytes) of one record of each stream; used for the
+/// header-count sanity check and by tests that build corrupt corpora.
+inline constexpr std::uint64_t kPacketRecordBytes = 32;
+inline constexpr std::uint64_t kTruthRecordBytes = 32;
+inline constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8 + 8;
+
 /// Serialize to a stream; returns false on I/O error.
 bool write_binary(const Trace& trace, std::ostream& out);
 bool write_binary_file(const Trace& trace, const std::string& path);
 
-/// Deserialize; returns nullopt on bad magic, version, or truncated input.
+enum class TraceErrorCode : std::uint8_t {
+  kNone = 0,
+  kIoError,           ///< stream unreadable before any parsing
+  kBadMagic,          ///< not a DTRC file
+  kBadVersion,        ///< unsupported format version
+  kTruncatedHeader,   ///< EOF inside the fixed header
+  kImpossibleCount,   ///< declared records cannot fit the stream
+  kTruncatedPacket,   ///< EOF inside a packet record
+  kTruncatedTruth,    ///< EOF inside a truth record
+  kBadFieldValue,     ///< a field holds an out-of-range value
+};
+
+const char* to_string(TraceErrorCode code);
+
+struct TraceError {
+  TraceErrorCode code = TraceErrorCode::kNone;
+  /// Byte offset into the stream where the error was detected (start of
+  /// the offending record or field).
+  std::uint64_t offset = 0;
+
+  explicit operator bool() const { return code != TraceErrorCode::kNone; }
+  std::string to_string() const;
+};
+
+struct TraceReadOptions {
+  /// Collector mode: skip records with out-of-range fields (counted in
+  /// `skipped_records`) and keep the readable prefix of a truncated
+  /// stream (missing records counted in `lost_records`) instead of
+  /// failing the whole read. Header damage (magic/version/truncation
+  /// inside the header) is fatal in every mode — there is nothing to
+  /// salvage without a trusted header.
+  bool tolerant = false;
+};
+
+struct TraceReadResult {
+  /// Present on success; in tolerant mode also present (possibly partial)
+  /// after record-level damage. Absent only on fatal errors.
+  std::optional<Trace> trace;
+
+  /// kNone when the stream was fully clean. In tolerant mode a set error
+  /// alongside a present trace means "partial read": `error` describes
+  /// the first damage encountered.
+  TraceError error;
+
+  std::uint64_t packets_read = 0;
+  std::uint64_t truth_read = 0;
+  std::uint64_t skipped_records = 0;  ///< corrupt records dropped (tolerant)
+  std::uint64_t lost_records = 0;     ///< declared but missing (truncation)
+
+  /// Fully clean read: a trace with no damage at all.
+  bool ok() const { return trace.has_value() && !error; }
+
+  /// A usable trace was produced but some input was skipped or lost.
+  bool degraded() const {
+    return trace.has_value() &&
+           (error || skipped_records != 0 || lost_records != 0);
+  }
+};
+
+/// Hardened deserialization with typed errors and tolerant-mode salvage.
+TraceReadResult read_binary_checked(std::istream& in,
+                                    const TraceReadOptions& options = {});
+TraceReadResult read_binary_checked_file(const std::string& path,
+                                         const TraceReadOptions& options = {});
+
+/// Strict convenience wrappers; nullopt on any damage (bad magic, version,
+/// truncated input, out-of-range fields).
 std::optional<Trace> read_binary(std::istream& in);
 std::optional<Trace> read_binary_file(const std::string& path);
 

@@ -1,0 +1,65 @@
+// SpscRing unit tests: capacity rounding/clamping (the constructor used to
+// spin forever on huge requests once the power-of-two accumulator
+// overflowed to zero) and single-threaded push/pop semantics.
+#include "runtime/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <utility>
+
+namespace dart::runtime {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2U);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2U);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2U);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4U);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64U);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128U);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024U);
+}
+
+TEST(SpscRing, HugeCapacityRequestsClampInsteadOfSpinning) {
+  // Pre-fix, any request above 2^63 overflowed `rounded` to zero and the
+  // rounding loop never terminated; large-but-representable requests
+  // tried to allocate the rounded amount and died. Both now clamp.
+  EXPECT_EQ(SpscRing<int>(std::numeric_limits<std::size_t>::max()).capacity(),
+            SpscRing<int>::kMaxCapacity);
+  EXPECT_EQ(SpscRing<int>(SpscRing<int>::kMaxCapacity + 1).capacity(),
+            SpscRing<int>::kMaxCapacity);
+  EXPECT_EQ(SpscRing<int>((std::size_t{1} << 62) + 12345).capacity(),
+            SpscRing<int>::kMaxCapacity);
+  // The documented maximum itself is honored exactly.
+  EXPECT_EQ(SpscRing<int>(SpscRing<int>::kMaxCapacity).capacity(),
+            SpscRing<int>::kMaxCapacity);
+}
+
+TEST(SpscRing, PushPopFifoAndFullEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 10));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  EXPECT_EQ(ring.size_approx(), 4U);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i + 10);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty again
+  EXPECT_EQ(ring.size_approx(), 0U);
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(2);
+  int out = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::move(i)));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+}  // namespace
+}  // namespace dart::runtime

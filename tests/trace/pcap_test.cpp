@@ -94,6 +94,42 @@ TEST(Pcap, IpChecksumVerifies) {
   EXPECT_EQ(sum, 0xFFFFU);
 }
 
+TEST(Pcap, OversizedPayloadClampsAtIpv4LengthLimit) {
+  // The IPv4 total-length field caps at 65535; with 20 IP + 20 TCP header
+  // bytes the largest representable payload is 65495. One byte more used
+  // to wrap the 16-bit field to a tiny bogus length — it must clamp to
+  // 65535 instead.
+  constexpr std::uint16_t kMaxPayload = 65535 - 20 - 20;  // 65495
+  const std::size_t ip = 24 + 16 + 14;
+
+  {
+    Trace trace;
+    PacketRecord p = sample_packet();
+    p.payload = kMaxPayload;  // boundary: exactly representable
+    trace.add(p);
+    const std::string bytes = render(trace);
+    EXPECT_EQ(u16_be(bytes, ip + 2), 65535U);              // IP total
+    EXPECT_EQ(u32_host(bytes, 36), 14U + 65535U);          // wire length
+  }
+  {
+    Trace trace;
+    PacketRecord p = sample_packet();
+    p.payload = kMaxPayload + 1;  // boundary + 1: would wrap to 4
+    trace.add(p);
+    const std::string bytes = render(trace);
+    EXPECT_EQ(u16_be(bytes, ip + 2), 65535U);  // clamped, not wrapped
+    EXPECT_EQ(u32_host(bytes, 36), 14U + 65535U);
+  }
+  {
+    Trace trace;
+    PacketRecord p = sample_packet();
+    p.payload = 65535;  // largest encodable payload field
+    trace.add(p);
+    const std::string bytes = render(trace);
+    EXPECT_EQ(u16_be(bytes, ip + 2), 65535U);
+  }
+}
+
 TEST(Pcap, OnePcapRecordPerPacket) {
   Trace trace;
   for (int i = 0; i < 10; ++i) {
