@@ -39,6 +39,13 @@ class SampleLog {
   /// Steal `other`'s samples onto the end of this log.
   void absorb(SampleLog&& other);
 
+  /// Drop every sample past the first `n` — the recovery path's rollback to
+  /// a checkpoint's sample cursor (samples emitted after the cut belong to
+  /// the discarded crash window). No-op when the log is already shorter.
+  void truncate(std::size_t n) {
+    if (n < samples_.size()) samples_.resize(n);
+  }
+
   bool write_csv(std::ostream& out) const;
   bool write_csv_file(const std::string& path) const;
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/packet.hpp"
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/flow_filter.hpp"
 #include "core/packet_tracker.hpp"
@@ -73,6 +74,22 @@ class DartMonitor {
   const DartConfig& config() const { return config_; }
   const RangeTracker& range_tracker() const { return rt_; }
   const PacketTracker& packet_tracker() const { return pt_; }
+
+  /// Mutable stats access for the runtime that drives this monitor (it
+  /// folds recovery/degradation accounting into the shard's counters).
+  DartStats& mutable_stats() { return stats_; }
+
+  /// Cut a complete, self-validating image of the monitor: config
+  /// fingerprint, stats, both tracker tables, shadow state, and the
+  /// installed flow filter. Quiesce-time only — the caller must guarantee
+  /// no process() call is concurrent with the cut.
+  CheckpointImage snapshot(const SnapshotMeta& meta) const;
+
+  /// Rehydrate from an image cut by an *identically configured* monitor
+  /// (same table geometry, seeds, leg/policy modes, and installed flow
+  /// filter — anything else is a kGeometryMismatch). All-or-nothing: on any
+  /// error the monitor's previous state is kept bit for bit.
+  CheckpointError restore(const CheckpointImage& image);
 
  private:
   void handle_seq(const FourTuple& tuple, const PacketRecord& packet,

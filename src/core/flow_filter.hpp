@@ -16,6 +16,10 @@
 
 namespace dart::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+struct CheckpointError;
+
 struct PortRange {
   std::uint16_t lo = 0;
   std::uint16_t hi = 65535;
@@ -26,6 +30,10 @@ struct PortRange {
   static constexpr PortRange any() { return PortRange{}; }
   static constexpr PortRange exactly(std::uint16_t port) {
     return PortRange{port, port};
+  }
+
+  friend constexpr bool operator==(PortRange lhs, PortRange rhs) {
+    return lhs.lo == rhs.lo && lhs.hi == rhs.hi;
   }
 };
 
@@ -42,6 +50,12 @@ struct FlowRule {
            src_port.contains(tuple.src_port) &&
            dst_port.contains(tuple.dst_port);
   }
+
+  friend constexpr bool operator==(const FlowRule& lhs, const FlowRule& rhs) {
+    return lhs.src == rhs.src && lhs.dst == rhs.dst &&
+           lhs.src_port == rhs.src_port && lhs.dst_port == rhs.dst_port &&
+           lhs.track == rhs.track;
+  }
 };
 
 /// First-match rule list; connections matching no rule are not tracked
@@ -57,6 +71,15 @@ class FlowFilter {
 
   void add_rule(const FlowRule& rule) { rules_.push_back(rule); }
   std::size_t rule_count() const { return rules_.size(); }
+
+  friend bool operator==(const FlowFilter& lhs, const FlowFilter& rhs) {
+    return lhs.rules_ == rhs.rules_;
+  }
+
+  /// Serialize the rule list into an open checkpoint section; restore() is
+  /// the all-or-nothing inverse. Quiesce-time only.
+  void snapshot(CheckpointWriter& writer) const;
+  CheckpointError restore(CheckpointReader& reader);
 
   /// True when the connection this tuple belongs to should be tracked.
   /// Rules are direction-insensitive: the first rule matching the tuple or

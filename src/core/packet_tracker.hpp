@@ -30,6 +30,10 @@
 
 namespace dart::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+struct CheckpointError;
+
 class PacketTracker {
  public:
   struct Record {
@@ -74,6 +78,16 @@ class PacketTracker {
   std::uint32_t stage_count() const {
     return static_cast<std::uint32_t>(stages_.size());
   }
+
+  /// Serialize every live record into an open checkpoint section in
+  /// canonical order ((stage, slot) when bounded, key order when unbounded)
+  /// so equal table states produce identical bytes. Quiesce-time only.
+  void snapshot(CheckpointWriter& writer) const;
+
+  /// Inverse of snapshot() into a tracker of the same geometry (mode, stage
+  /// count, and stage size must match). All-or-nothing: on any error the
+  /// tracker's previous state is kept untouched.
+  CheckpointError restore(CheckpointReader& reader);
 
  private:
   struct Slot {

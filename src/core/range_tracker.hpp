@@ -34,6 +34,10 @@
 
 namespace dart::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+struct CheckpointError;
+
 enum class SeqDecision : std::uint8_t {
   kTrackNew,         ///< first packet of a (newly tracked) flow
   kTrackInOrder,     ///< right edge advanced
@@ -95,6 +99,17 @@ class RangeTracker {
 
   std::size_t occupied() const;
   std::size_t capacity() const { return bounded_ ? slots_.size() : 0; }
+
+  /// Serialize every live entry into an open checkpoint section, in
+  /// canonical order (slot index when bounded, key order when unbounded) so
+  /// equal table states produce identical bytes. Quiesce-time only.
+  void snapshot(CheckpointWriter& writer) const;
+
+  /// Inverse of snapshot() into a tracker of the *same geometry* (size and
+  /// mode must match — the monitor-level restore guarantees this via the
+  /// config section). All-or-nothing: on any error the tracker's previous
+  /// state is kept untouched.
+  CheckpointError restore(CheckpointReader& reader);
 
  private:
   struct Entry {

@@ -1,6 +1,9 @@
 #include "core/stats.hpp"
 
+#include <iterator>
+
 #include "common/strings.hpp"
+#include "core/checkpoint.hpp"
 
 namespace dart::core {
 
@@ -12,6 +15,9 @@ RuntimeHealth& RuntimeHealth::operator+=(const RuntimeHealth& other) {
   workers_killed += other.workers_killed;
   forced_detaches += other.forced_detaches;
   abandoned_packets += other.abandoned_packets;
+  recovered += other.recovered;
+  replayed_after_restore += other.replayed_after_restore;
+  lost_to_crash += other.lost_to_crash;
   return *this;
 }
 
@@ -23,6 +29,11 @@ std::string RuntimeHealth::summary() const {  // hotpath-ok: reporting only
   out += " killed=" + format_count(workers_killed);
   out += " detached=" + format_count(forced_detaches);
   out += " abandoned=" + format_count(abandoned_packets);
+  if (recovered != 0 || lost_to_crash != 0) {
+    out += " recovered=" + format_count(recovered);
+    out += " replayed=" + format_count(replayed_after_restore);
+    out += " lost=" + format_count(lost_to_crash);
+  }
   return out;
 }
 
@@ -60,6 +71,82 @@ DartStats& DartStats::operator+=(const DartStats& other) {
   samples += other.samples;
   runtime += other.runtime;
   return *this;
+}
+
+namespace {
+
+// One fixed field order shared by the writer and the reader. Pointer-to-
+// member keeps the two in lockstep by construction: a counter added here is
+// serialized, restored, and counted exactly once.
+constexpr std::uint64_t DartStats::* kStatFields[] = {
+    &DartStats::packets_processed,
+    &DartStats::filtered_packets,
+    &DartStats::seq_candidates,
+    &DartStats::ack_candidates,
+    &DartStats::syn_ignored,
+    &DartStats::rt_new_flows,
+    &DartStats::rt_flow_overwrites,
+    &DartStats::rt_idle_timeouts,
+    &DartStats::seq_tracked,
+    &DartStats::seq_in_order,
+    &DartStats::seq_hole_reanchors,
+    &DartStats::seq_retransmissions,
+    &DartStats::wraparound_resets,
+    &DartStats::ack_advances,
+    &DartStats::ack_duplicates,
+    &DartStats::ack_below_left,
+    &DartStats::ack_optimistic,
+    &DartStats::ack_no_entry,
+    &DartStats::pt_inserted,
+    &DartStats::pt_evictions,
+    &DartStats::pt_lookup_hits,
+    &DartStats::pt_lookup_misses,
+    &DartStats::recirculations,
+    &DartStats::dual_role_recirculations,
+    &DartStats::drops_budget,
+    &DartStats::drops_stale,
+    &DartStats::drops_cycle,
+    &DartStats::drops_useless,
+    &DartStats::drops_shadow,
+    &DartStats::drops_policy,
+    &DartStats::samples,
+};
+
+constexpr std::uint64_t RuntimeHealth::* kHealthFields[] = {
+    &RuntimeHealth::shed_batches,
+    &RuntimeHealth::shed_packets,
+    &RuntimeHealth::backpressure_events,
+    &RuntimeHealth::backoff_sleeps,
+    &RuntimeHealth::workers_killed,
+    &RuntimeHealth::forced_detaches,
+    &RuntimeHealth::abandoned_packets,
+    &RuntimeHealth::recovered,
+    &RuntimeHealth::replayed_after_restore,
+    &RuntimeHealth::lost_to_crash,
+};
+
+constexpr std::uint32_t kStatFieldCount = static_cast<std::uint32_t>(
+    std::size(kStatFields) + std::size(kHealthFields));
+
+}  // namespace
+
+void DartStats::snapshot(CheckpointWriter& writer) const {
+  writer.u32(kStatFieldCount);
+  for (const auto field : kStatFields) writer.u64(this->*field);
+  for (const auto field : kHealthFields) writer.u64(runtime.*field);
+}
+
+CheckpointError DartStats::restore(CheckpointReader& reader) {
+  const std::uint32_t count = reader.u32();
+  if (!reader.error() && count != kStatFieldCount) {
+    reader.fail_field();
+  }
+  DartStats staged;
+  for (const auto field : kStatFields) staged.*field = reader.u64();
+  for (const auto field : kHealthFields) staged.runtime.*field = reader.u64();
+  if (reader.error()) return reader.error();
+  *this = staged;
+  return CheckpointError::ok();
 }
 
 std::string DartStats::summary() const {  // hotpath-ok: reporting only

@@ -9,6 +9,10 @@
 
 namespace dart::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+struct CheckpointError;
+
 /// Health counters of the replay *runtime* around a monitor: what the
 /// sharded router shed or abandoned when a worker fell behind, died, or
 /// wedged. All zeros in a healthy run (and always in a single-threaded
@@ -26,11 +30,28 @@ struct RuntimeHealth {
   /// processed-and-merged nor shed, so they are unaccounted coverage loss.
   std::uint64_t abandoned_packets = 0;
 
-  /// True when any coverage was lost (shedding, death, or abandonment).
-  /// Backpressure alone is not degradation — it is the design working.
+  // Crash-recovery accounting (the ShardSupervisor's checkpoint/restart
+  // path). The extended identity is
+  //
+  //     processed + shed + abandoned + lost_to_crash == routed
+  //
+  // where `lost_to_crash` is exactly the post-checkpoint window a crashed
+  // worker had processed but whose state was rolled back at restore.
+  std::uint64_t recovered = 0;  ///< workers restarted from a checkpoint
+  /// Packets re-queued from a dead worker's ring/limbo to its successor:
+  /// delivered twice to the shard, processed exactly once.
+  std::uint64_t replayed_after_restore = 0;
+  /// Packets processed after the last checkpoint by a worker that then
+  /// crashed: their state effects were discarded by the rollback. Bounded
+  /// by the checkpoint interval when barriers are flowing.
+  std::uint64_t lost_to_crash = 0;
+
+  /// True when any coverage was lost (shedding, death, abandonment, or a
+  /// rolled-back crash window). Backpressure alone is not degradation — it
+  /// is the design working — and neither is a recovery that lost nothing.
   bool degraded() const {
     return shed_packets != 0 || workers_killed != 0 || forced_detaches != 0 ||
-           abandoned_packets != 0;
+           abandoned_packets != 0 || lost_to_crash != 0;
   }
 
   RuntimeHealth& operator+=(const RuntimeHealth& other);
@@ -105,6 +126,11 @@ struct DartStats {
                : static_cast<double>(recirculations) /
                      static_cast<double>(packets_processed);
   }
+
+  /// Serialize every counter (RuntimeHealth included) into an open
+  /// checkpoint section; restore() is the exact inverse. Quiesce-time only.
+  void snapshot(CheckpointWriter& writer) const;
+  CheckpointError restore(CheckpointReader& reader);
 
   std::string summary() const;  // hotpath-ok: end-of-run reporting
 };

@@ -1,0 +1,87 @@
+#include "runtime/checkpoint_coordinator.hpp"
+
+#include <iterator>
+#include <utility>
+
+namespace dart::runtime {
+
+CheckpointCoordinator::CheckpointCoordinator(std::uint32_t shards) {
+  slots_.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+std::uint64_t CheckpointCoordinator::begin_incarnation(std::uint32_t shard) {
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.owner = slot.next_id++;
+  return slot.owner;
+}
+
+bool CheckpointCoordinator::commit(std::uint32_t shard,
+                                   std::uint64_t incarnation,
+                                   core::CheckpointImage&& image,
+                                   const core::SnapshotMeta& meta,
+                                   std::vector<core::RttSample>&& samples) {
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.owner != incarnation) return false;
+  slot.committed.insert(slot.committed.end(),
+                        std::make_move_iterator(samples.begin()),
+                        std::make_move_iterator(samples.end()));
+  if (!image.empty()) {
+    slot.image = std::move(image);
+    slot.meta = meta;
+    slot.has_image = true;
+    ++slot.cuts;
+  }
+  return true;
+}
+
+bool CheckpointCoordinator::commit_samples(
+    std::uint32_t shard, std::uint64_t incarnation,
+    std::vector<core::RttSample>&& samples) {
+  return commit(shard, incarnation, core::CheckpointImage{}, {},
+                std::move(samples));
+}
+
+bool CheckpointCoordinator::latest(std::uint32_t shard,
+                                   core::CheckpointImage* image,
+                                   core::SnapshotMeta* meta) const {
+  const Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (!slot.has_image) return false;
+  if (image != nullptr) *image = slot.image;
+  if (meta != nullptr) *meta = slot.meta;
+  return true;
+}
+
+std::vector<core::RttSample> CheckpointCoordinator::committed_samples(
+    std::uint32_t shard) const {
+  const Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.committed;
+}
+
+std::uint64_t CheckpointCoordinator::committed_sample_count(
+    std::uint32_t shard) const {
+  const Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.committed.size();
+}
+
+std::uint64_t CheckpointCoordinator::checkpoints_cut(
+    std::uint32_t shard) const {
+  const Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.cuts;
+}
+
+std::uint64_t CheckpointCoordinator::total_checkpoints_cut() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < shards(); ++i) total += checkpoints_cut(i);
+  return total;
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,112 @@
+// CheckpointCoordinator: the durable side of the supervised shard runtime.
+//
+// Workers cut checkpoint images at epoch barriers (markers the router
+// injects into each shard's ring every N delivered packets and/or T virtual
+// seconds) and *commit* them here, together with the samples they emitted
+// since the previous barrier. The coordinator is what survives a worker
+// crash: the supervisor rehydrates a replacement monitor from the latest
+// committed image and merges only committed samples, so everything a dead
+// worker did after its last commit is rolled back as one bounded loss
+// window.
+//
+// Commits are fenced by incarnation id. The supervisor bumps the shard's
+// owner id *before* it gives up on a worker (dead or hung), so a detached
+// worker that wakes up later and tries to commit is rejected under the same
+// mutex that serializes commits — a zombie can never overwrite its
+// successor's state or smuggle rolled-back samples into the merge.
+//
+// Consistency invariant: after every accepted commit,
+//     committed_samples(shard).size() == meta.sample_cursor
+//                                     == stats.samples in the image,
+// because a worker commits exactly the samples it emitted before the cut
+// and a successor restores its sample counter from the same image.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/rtt_sample.hpp"
+
+namespace dart::runtime {
+
+/// When the router injects epoch barriers into a shard's stream. Both
+/// triggers may be armed at once; either one being due cuts the barrier
+/// (and resets both). All zeros disables checkpointing entirely.
+struct CheckpointPolicy {
+  /// Cut after this many packets delivered to the shard (0 = off).
+  std::uint64_t interval_packets = 0;
+
+  /// Cut when the shard's packet timestamps have advanced this far since
+  /// the last barrier (0 = off). Virtual time, not wall time: replaying the
+  /// same trace cuts barriers at the same packets.
+  std::uint64_t interval_vtime_ns = 0;
+
+  bool enabled() const { return interval_packets != 0 || interval_vtime_ns != 0; }
+};
+
+class CheckpointCoordinator {
+ public:
+  explicit CheckpointCoordinator(std::uint32_t shards);
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  /// Supervisor side: transfer ownership of `shard` to a new incarnation
+  /// and return its id. Every commit carrying an older id is rejected from
+  /// this point on — call it *before* reading recovery state, so a zombie
+  /// cannot slip a commit in between.
+  std::uint64_t begin_incarnation(std::uint32_t shard);
+
+  /// Worker side: commit a cut image plus the samples emitted since the
+  /// previous commit. Returns false (and changes nothing) unless
+  /// `incarnation` currently owns the shard. An empty image (a monitor
+  /// without checkpoint support) commits the samples only.
+  bool commit(std::uint32_t shard, std::uint64_t incarnation,
+              core::CheckpointImage&& image, const core::SnapshotMeta& meta,
+              std::vector<core::RttSample>&& samples);
+
+  /// Worker side: commit trailing samples with no image (the clean
+  /// end-of-input path). Fenced like commit().
+  bool commit_samples(std::uint32_t shard, std::uint64_t incarnation,
+                      std::vector<core::RttSample>&& samples);
+
+  /// Supervisor side: copy out the latest committed image and its meta.
+  /// False when the shard has never committed one.
+  bool latest(std::uint32_t shard, core::CheckpointImage* image,
+              core::SnapshotMeta* meta) const;
+
+  /// Samples committed so far (barrier commits + end-of-input commits), in
+  /// per-shard emission order.
+  std::vector<core::RttSample> committed_samples(std::uint32_t shard) const;
+
+  std::uint64_t committed_sample_count(std::uint32_t shard) const;
+
+  /// Accepted image commits for `shard` / across all shards.
+  std::uint64_t checkpoints_cut(std::uint32_t shard) const;
+  std::uint64_t total_checkpoints_cut() const;
+
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    std::uint64_t owner = 0;  ///< current incarnation id; 0 = none yet
+    std::uint64_t next_id = 1;
+    bool has_image = false;
+    core::CheckpointImage image;
+    core::SnapshotMeta meta;
+    std::vector<core::RttSample> committed;
+    std::uint64_t cuts = 0;
+  };
+
+  // unique_ptr because Slot holds a mutex (immovable) and the vector is
+  // sized once at construction.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace dart::runtime

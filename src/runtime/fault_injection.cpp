@@ -28,8 +28,11 @@ FaultPlan& FaultPlan::stall(std::uint32_t shard, std::uint64_t first_batch,
   return *this;
 }
 
-FaultPlan& FaultPlan::kill(std::uint32_t shard, std::uint64_t after_batches) {
-  shard_faults(shard).kill_after = after_batches;
+FaultPlan& FaultPlan::kill(std::uint32_t shard, std::uint64_t after_batches,
+                           std::uint64_t times) {
+  ShardFaults& state = shard_faults(shard);
+  state.kill_after = after_batches;
+  state.kill_times = times;
   return *this;
 }
 
@@ -48,12 +51,21 @@ FaultPlan::Action FaultPlan::before_pop(std::uint32_t shard,
                                         std::uint64_t batches_done) {
   if (shard >= shards_.size()) return Action::kContinue;
   ShardFaults& state = shards_[shard];
-  if (!state.hang_fired && batches_done >= state.hang_at) {
-    state.hang_fired = true;  // one-shot: after release the worker resumes
+  if (batches_done >= state.hang_at) {
+    // hang_fired lives under the hang mutex: with a supervised runtime the
+    // blocked zombie and its restarted successor exist concurrently, and
+    // both reach this check.
     std::unique_lock<std::mutex> lock(hang_mutex_);
-    hang_cv_.wait(lock, [this] { return hangs_released_; });
+    if (!state.hang_fired) {
+      state.hang_fired = true;  // one-shot: after release the worker resumes
+      hang_cv_.wait(lock, [this] { return hangs_released_; });
+    }
   }
-  if (batches_done >= state.kill_after) return Action::kExit;
+  if (batches_done >= state.kill_after &&
+      state.kills_fired < state.kill_times) {
+    ++state.kills_fired;
+    return Action::kExit;
+  }
   return Action::kContinue;
 }
 

@@ -54,8 +54,14 @@ class FaultPlan {
                    std::uint64_t batches, std::uint64_t delay_ns);
 
   /// Worker `shard` exits its loop after processing exactly `after_batches`
-  /// batches; the runtime sheds whatever it never consumed.
-  FaultPlan& kill(std::uint32_t shard, std::uint64_t after_batches);
+  /// batches; the runtime sheds whatever it never consumed. `times` bounds
+  /// how many workers the fault claims: under a supervised runtime a
+  /// restarted worker counts batches from zero, so times == 1 (the default)
+  /// crashes the shard exactly once while a large value re-kills every
+  /// successor until the supervisor's restart budget runs out. Plain
+  /// ShardedMonitor never restarts a worker, so `times` is moot there.
+  FaultPlan& kill(std::uint32_t shard, std::uint64_t after_batches,
+                  std::uint64_t times = 1);
 
   /// Worker `shard` blocks once it has processed `at_batch` batches, until
   /// release_hangs() is called (or forever, if it never is).
@@ -85,8 +91,13 @@ class FaultPlan {
     std::uint64_t stall_first = 0;
     std::uint64_t stall_count = 0;
     std::uint64_t stall_delay_ns = 0;
-    // Kill point (kuint64max = never).
+    // Kill point (kuint64max = never), how many kills the fault may fire,
+    // and how many it has fired. Incarnations of one shard run serially
+    // (a successor starts only after its predecessor exited), so the
+    // counter needs no synchronization.
     std::uint64_t kill_after = ~std::uint64_t{0};
+    std::uint64_t kill_times = ~std::uint64_t{0};
+    std::uint64_t kills_fired = 0;
     // Hang point (kuint64max = never) and whether it already fired.
     std::uint64_t hang_at = ~std::uint64_t{0};
     bool hang_fired = false;

@@ -29,6 +29,20 @@ class ReplayMonitor {
   /// Counters to fold into the run's merged statistics. Implementations
   /// without Dart-shaped counters may return a default-constructed value.
   virtual core::DartStats stats() const = 0;
+
+  /// Checkpoint support (the supervised runtime's crash-recovery path).
+  /// A monitor that opts in must make snapshot()/restore() a faithful
+  /// round-trip of its entire measurement state; the default opts out, and
+  /// the supervisor then restarts such shards from empty state (barrier-
+  /// committed samples are still salvaged).
+  virtual bool supports_checkpoint() const { return false; }
+  virtual core::CheckpointImage snapshot(const core::SnapshotMeta&) const {
+    return {};
+  }
+  virtual core::CheckpointError restore(const core::CheckpointImage&) {
+    return core::CheckpointError::at(core::CheckpointErrorCode::kUnsupported,
+                                     0);
+  }
 };
 
 /// Builds the monitor for shard `shard`; samples must be forwarded to
@@ -47,6 +61,14 @@ class DartReplayMonitor : public ReplayMonitor {
     monitor_.process(packet);
   }
   core::DartStats stats() const override { return monitor_.stats(); }
+
+  bool supports_checkpoint() const override { return true; }
+  core::CheckpointImage snapshot(const core::SnapshotMeta& meta) const override {
+    return monitor_.snapshot(meta);
+  }
+  core::CheckpointError restore(const core::CheckpointImage& image) override {
+    return monitor_.restore(image);
+  }
 
   core::DartMonitor& monitor() { return monitor_; }
   const core::DartMonitor& monitor() const { return monitor_; }

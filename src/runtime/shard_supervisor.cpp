@@ -1,0 +1,550 @@
+#include "runtime/shard_supervisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "core/config_check.hpp"
+
+#if defined(DART_FAULT_INJECTION)
+#include "runtime/fault_injection.hpp"
+#endif
+
+namespace dart::runtime {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(const SupervisorConfig& config,
+                                 MonitorFactory factory)
+    : config_(config),
+      factory_(std::move(factory)),
+      router_(config.shards == 0 ? 1 : config.shards, config.route_seed),
+      coordinator_(config.shards == 0 ? 1 : config.shards) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.queue_batches == 0) config_.queue_batches = 1;
+  shards_.reserve(config_.shards);
+  for (std::uint32_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->pending.reserve(config_.batch_size);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) start(*shard, 0, nullptr);
+}
+
+ShardSupervisor::ShardSupervisor(const SupervisorConfig& config,
+                                 const core::DartConfig& dart_config)
+    : ShardSupervisor(config,
+                      dart_factory(core::ensure_feasible(dart_config))) {}
+
+ShardSupervisor::~ShardSupervisor() { finish(); }
+
+bool ShardSupervisor::start(Shard& shard, std::uint64_t base_cursor,
+                            const core::CheckpointImage* image) {
+  auto inc = std::make_shared<Incarnation>(config_.queue_batches);
+  inc->shard = shard.index;
+  // Taking ownership here is the fence: any commit still in flight from a
+  // predecessor (or a released zombie) is rejected from this instant.
+  inc->id = coordinator_.begin_incarnation(shard.index);
+  inc->base_cursor = base_cursor;
+  inc->coordinator = &coordinator_;
+#if defined(DART_FAULT_INJECTION)
+  inc->faults = config_.faults;
+#endif
+  Incarnation* raw = inc.get();
+  inc->monitor = factory_(shard.index, [raw](const core::RttSample& sample) {
+    raw->pending.push_back(sample);
+  });
+  bool restored = false;
+  if (image != nullptr && inc->monitor->supports_checkpoint()) {
+    restored = !inc->monitor->restore(*image);
+  }
+  inc->thread =
+      std::thread([keepalive = inc] { worker_loop(*keepalive); });
+  shard.inc = std::move(inc);
+  shard.hb_armed = false;
+  return restored;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+void ShardSupervisor::commit_barrier(Incarnation& inc, const Work& marker) {
+  // The marker is an in-band quiesce point: every packet delivered before it
+  // has been processed, so the monitor state *is* the state at stream
+  // position marker.cursor.
+  assert(inc.base_cursor +
+             inc.packets_done.load(std::memory_order_relaxed) ==
+         marker.cursor);
+  core::SnapshotMeta meta;
+  meta.epoch = marker.epoch;
+  meta.cursor = marker.cursor;
+  meta.sample_cursor = inc.monitor->stats().samples;
+  core::CheckpointImage image;
+  if (inc.monitor->supports_checkpoint()) image = inc.monitor->snapshot(meta);
+  std::vector<core::RttSample> samples = std::move(inc.pending);
+  inc.pending.clear();
+  // Fenced: a zombie's commit is rejected and its samples discarded — they
+  // belong to a window already written off as lost.
+  inc.coordinator->commit(inc.shard, inc.id, std::move(image), meta,
+                          std::move(samples));
+}
+
+void ShardSupervisor::worker_loop(Incarnation& inc) {
+  Work work;
+  bool done_seen = false;
+  for (;;) {
+    if (inc.queue.try_pop(work)) {
+      if (work.marker) {
+        commit_barrier(inc, work);
+        continue;
+      }
+#if defined(DART_FAULT_INJECTION)
+      if (inc.faults != nullptr) {
+        if (inc.faults->before_pop(inc.shard, inc.batches_done) ==
+            FaultPlan::Action::kExit) {
+          // Park the popped-but-unprocessed batch for the successor: a kill
+          // loses only processed-uncommitted state, never in-flight input —
+          // which is why a kill landing on a barrier loses nothing at all.
+          inc.limbo.push_back(std::move(work));
+          inc.dead.store(true, std::memory_order_release);
+          break;
+        }
+        inc.faults->after_pop(inc.shard, inc.batches_done);
+      }
+#endif
+      for (const PacketRecord& packet : work.batch) {
+        inc.monitor->process(packet);
+      }
+      inc.packets_done.fetch_add(work.batch.size(),
+                                 std::memory_order_release);
+#if defined(DART_FAULT_INJECTION)
+      ++inc.batches_done;
+#endif
+      work.batch.clear();
+      continue;
+    }
+    if (done_seen) break;
+    if (inc.input_done.load(std::memory_order_acquire)) {
+      done_seen = true;
+      continue;  // one more pass drains anything pushed before the flag
+    }
+    std::this_thread::yield();
+  }
+  if (!inc.dead.load(std::memory_order_relaxed)) {
+    // Clean end of input: commit the trailing samples (fenced, so a
+    // released zombie draining its abandoned ring commits nothing).
+    inc.coordinator->commit_samples(inc.shard, inc.id,
+                                    std::move(inc.pending));
+    inc.pending.clear();
+  }
+  inc.final_stats = inc.monitor->stats();
+  inc.exited.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Router side: delivery, barriers, health watching.
+
+void ShardSupervisor::process(const PacketRecord& packet) {
+  assert(!finished_ && "process() after finish()");
+  Shard& shard = *shards_[router_.route(packet.tuple)];
+  shard.last_ts = packet.ts;
+  if (!shard.barrier_ts_armed) {
+    shard.barrier_ts_armed = true;
+    shard.last_barrier_ts = packet.ts;
+  }
+  shard.pending.push_back(packet);
+  if (shard.pending.size() >= config_.batch_size) flush_shard(shard);
+  maybe_barrier(shard);
+}
+
+void ShardSupervisor::process_all(std::span<const PacketRecord> packets) {
+  for (const PacketRecord& packet : packets) process(packet);
+}
+
+void ShardSupervisor::flush_shard(Shard& shard) {
+  if (shard.pending.empty()) return;
+  Work work;
+  work.batch = std::move(shard.pending);
+  shard.pending.clear();  // moved-from: restore a defined empty state
+  shard.pending.reserve(config_.batch_size);
+  shard.routed += work.batch.size();
+  deliver(shard, std::move(work));
+}
+
+void ShardSupervisor::maybe_barrier(Shard& shard) {
+  if (!config_.checkpoint.enabled() || shard.tombstoned) return;
+  const std::uint64_t since_packets = shard.delivered +
+                                      shard.pending.size() -
+                                      shard.last_barrier_delivered;
+  const bool packets_due = config_.checkpoint.interval_packets != 0 &&
+                           since_packets >=
+                               config_.checkpoint.interval_packets;
+  const bool vtime_due = config_.checkpoint.interval_vtime_ns != 0 &&
+                         shard.barrier_ts_armed &&
+                         shard.last_ts - shard.last_barrier_ts >=
+                             config_.checkpoint.interval_vtime_ns;
+  if (!packets_due && !vtime_due) return;
+  // Epoch barrier: everything routed so far goes in front of the marker,
+  // so the marker's cursor is exactly the shard stream position it cuts.
+  flush_shard(shard);
+  Work marker;
+  marker.marker = true;
+  marker.epoch = ++shard.epoch;
+  marker.cursor = shard.delivered;
+  shard.last_barrier_delivered = shard.delivered;
+  shard.last_barrier_ts = shard.last_ts;
+  deliver(shard, std::move(marker));
+}
+
+void ShardSupervisor::shed_work(Shard& shard, const Work& work) {
+  if (work.marker) return;  // a skipped barrier sheds no coverage
+  ++shard.health.shed_batches;
+  shard.health.shed_packets += work.batch.size();
+}
+
+void ShardSupervisor::deliver(Shard& shard, Work&& work) {
+  const std::uint64_t packets = work.batch.size();
+  OverloadGovernor governor(config_.overload);
+  bool contended = false;
+  for (;;) {
+    if (shard.tombstoned) {
+      shed_work(shard, work);
+      return;
+    }
+    Incarnation& inc = *shard.inc;
+    if (inc.dead.load(std::memory_order_acquire)) {
+      recover_dead(shard);
+      continue;
+    }
+    if (inc.queue.try_push(std::move(work))) {
+      shard.delivered += packets;
+      return;
+    }
+    if (!contended) {
+      contended = true;
+      ++shard.health.backpressure_events;
+    }
+    // Hang detection: the heartbeat only matters while we are backpressured
+    // — an idle worker's frozen counter just means an empty ring.
+    if (config_.hang_detection_ns != 0) {
+      const std::uint64_t done =
+          inc.packets_done.load(std::memory_order_acquire);
+      const std::uint64_t now = now_ns();
+      if (!shard.hb_armed || shard.hb_incarnation != inc.id ||
+          shard.hb_done != done) {
+        shard.hb_armed = true;
+        shard.hb_incarnation = inc.id;
+        shard.hb_done = done;
+        shard.hb_since_ns = now;
+      } else if (now - shard.hb_since_ns >= config_.hang_detection_ns) {
+        recover_hung(shard);
+        continue;
+      }
+    }
+    const OverloadDecision decision = governor.next();
+    if (decision.action == OverloadAction::kShed) {
+      shed_work(shard, work);
+      return;
+    }
+    if (decision.action == OverloadAction::kSleep) {
+      ++shard.health.backoff_sleeps;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(decision.sleep_ns));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardSupervisor::requeue(Shard& shard, std::vector<Work>&& carryover) {
+  // Redeliver a dead predecessor's unconsumed input to the successor, in
+  // FIFO order, ahead of anything the router routes next (recovery runs
+  // synchronously on the router thread, so nothing can interleave).
+  for (Work& work : carryover) {
+    const std::uint64_t packets = work.batch.size();
+    const bool marker = work.marker;
+    for (;;) {
+      if (shard.tombstoned) {
+        shed_work(shard, work);
+        break;
+      }
+      Incarnation& inc = *shard.inc;
+      if (inc.dead.load(std::memory_order_acquire)) {
+        // The successor died before swallowing the backlog; recursion is
+        // bounded by the restart budget.
+        recover_dead(shard);
+        continue;
+      }
+      if (inc.queue.try_push(std::move(work))) {
+        if (!marker) shard.health.replayed_after_restore += packets;
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+void ShardSupervisor::account_crash_window(Shard& shard, std::uint64_t base,
+                                           std::uint64_t frontier,
+                                           std::uint64_t restored_cursor) {
+  // The loss window is exactly what the crashed incarnation processed
+  // beyond the state its successor resumes from. max() keeps repeated
+  // crashes from re-counting a window an earlier crash already lost.
+  const std::uint64_t floor = std::max(restored_cursor, base);
+  if (frontier > floor) shard.health.lost_to_crash += frontier - floor;
+}
+
+void ShardSupervisor::recover_dead(Shard& shard) {
+  std::shared_ptr<Incarnation> inc = shard.inc;
+  // Fence before touching anything else (symmetry with the hung path; a
+  // dead worker has already stopped committing).
+  coordinator_.begin_incarnation(shard.index);
+  if (inc->thread.joinable()) inc->thread.join();
+
+  // Salvage unconsumed input: the parked limbo batch precedes the ring
+  // content in stream order (it was popped first).
+  std::vector<Work> carryover = std::move(inc->limbo);
+  {
+    Work work;
+    while (inc->queue.try_pop(work)) carryover.push_back(std::move(work));
+  }
+
+  const std::uint64_t frontier =
+      inc->base_cursor + inc->packets_done.load(std::memory_order_acquire);
+  shard.health.workers_killed += 1;
+
+  core::CheckpointImage image;
+  core::SnapshotMeta meta;
+  const bool has_image = coordinator_.latest(shard.index, &image, &meta);
+
+  if (shard.restarts >= config_.restart_budget) {
+    core::DartStats salvaged;
+    const bool ok = has_image && !core::read_stats(image, &salvaged);
+    if (ok) shard.salvage_stats = salvaged;
+    account_crash_window(shard, inc->base_cursor, frontier,
+                         ok ? meta.cursor : 0);
+    tombstone(shard, std::move(carryover));
+    return;
+  }
+
+  ++shard.restarts;
+  if (config_.restart_backoff_ns != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        config_.restart_backoff_ns * shard.restarts));
+  }
+  shard.health.recovered += 1;
+  const bool restored =
+      start(shard, frontier, has_image ? &image : nullptr);
+  account_crash_window(shard, inc->base_cursor, frontier,
+                       restored ? meta.cursor : 0);
+  requeue(shard, std::move(carryover));
+}
+
+void ShardSupervisor::recover_hung(Shard& shard) {
+  std::shared_ptr<Incarnation> inc = shard.inc;
+  // Fence FIRST: if the zombie wakes between here and the restart, its
+  // commit must already be rejected — otherwise it could overwrite the very
+  // image the successor is about to restore.
+  coordinator_.begin_incarnation(shard.index);
+  const std::uint64_t frontier =
+      inc->base_cursor + inc->packets_done.load(std::memory_order_acquire);
+  shard.health.forced_detaches += 1;
+
+  core::CheckpointImage image;
+  core::SnapshotMeta meta;
+  const bool has_image = coordinator_.latest(shard.index, &image, &meta);
+
+  // The zombie's ring is unsalvageable (it may still pop from it), so
+  // everything delivered beyond its frontier is abandoned, not replayed.
+  if (shard.delivered > frontier) {
+    shard.health.abandoned_packets += shard.delivered - frontier;
+  }
+
+  // Hand the zombie its exit condition for a later wake-up, then abandon
+  // it; the keepalive reference keeps its world alive indefinitely.
+  inc->input_done.store(true, std::memory_order_release);
+  inc->thread.detach();
+  shard.detached.push_back(inc);
+
+  if (shard.restarts >= config_.restart_budget) {
+    core::DartStats salvaged;
+    const bool ok = has_image && !core::read_stats(image, &salvaged);
+    if (ok) shard.salvage_stats = salvaged;
+    account_crash_window(shard, inc->base_cursor, frontier,
+                         ok ? meta.cursor : 0);
+    tombstone(shard, {});
+    return;
+  }
+
+  ++shard.restarts;
+  if (config_.restart_backoff_ns != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        config_.restart_backoff_ns * shard.restarts));
+  }
+  shard.health.recovered += 1;
+  const bool restored =
+      start(shard, shard.delivered, has_image ? &image : nullptr);
+  account_crash_window(shard, inc->base_cursor, frontier,
+                       restored ? meta.cursor : 0);
+}
+
+void ShardSupervisor::tombstone(Shard& shard,
+                                std::vector<Work>&& carryover) {
+  // Budget exhausted: degrade to the shed path for the rest of the run.
+  // Stats salvage (from the last committed image) is the caller's job —
+  // it needs the image anyway for loss accounting.
+  shard.tombstoned = true;
+  shard.inc.reset();
+  for (const Work& work : carryover) shed_work(shard, work);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown and results.
+
+bool ShardSupervisor::wait_exited(const Incarnation& inc,
+                                  std::uint64_t timeout_ns) const {
+  if (timeout_ns == 0) {
+    while (!inc.exited.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  while (!inc.exited.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Final re-check: the deadline racing a clean exit must side with
+      // the worker.
+      return inc.exited.load(std::memory_order_acquire);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return true;
+}
+
+void ShardSupervisor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& shard : shards_) flush_shard(*shard);
+  // Signal everyone first so workers drain in parallel, then reap one by
+  // one — restarting any worker that crashes while draining.
+  for (auto& shard : shards_) {
+    if (shard->inc) {
+      shard->inc->input_done.store(true, std::memory_order_release);
+    }
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    for (;;) {
+      if (shard.tombstoned || !shard.inc) break;
+      Incarnation& inc = *shard.inc;
+      inc.input_done.store(true, std::memory_order_release);
+      if (wait_exited(inc, config_.join_timeout_ns)) {
+        inc.thread.join();
+        if (inc.dead.load(std::memory_order_acquire)) {
+          // Died while draining: restart (or tombstone), replay the
+          // backlog, drain again.
+          recover_dead(shard);
+          continue;
+        }
+        break;  // clean exit; final_stats and commits are in
+      }
+      // Wedged past the shutdown budget: account like a hung worker, but
+      // start no successor — there is no further input to feed one.
+      coordinator_.begin_incarnation(shard.index);
+      const std::uint64_t frontier =
+          inc.base_cursor +
+          inc.packets_done.load(std::memory_order_acquire);
+      shard.health.forced_detaches += 1;
+      core::CheckpointImage image;
+      core::SnapshotMeta meta;
+      const bool has_image = coordinator_.latest(shard.index, &image, &meta);
+      core::DartStats salvaged;
+      const bool ok = has_image && !core::read_stats(image, &salvaged);
+      if (ok) shard.salvage_stats = salvaged;
+      account_crash_window(shard, inc.base_cursor, frontier,
+                           ok ? meta.cursor : 0);
+      if (shard.delivered > frontier) {
+        shard.health.abandoned_packets += shard.delivered - frontier;
+      }
+      inc.thread.detach();
+      shard.detached.push_back(shard.inc);
+      shard.inc.reset();
+      shard.abandoned_at_shutdown = true;
+      break;
+    }
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (shard.inc) {
+      shard.result = shard.inc->final_stats;
+    } else {
+      // Tombstoned or abandoned: the last committed checkpoint is the best
+      // surviving account of the shard's measurement work.
+      shard.result = shard.salvage_stats;
+    }
+    shard.result.runtime = shard.health;
+  }
+}
+
+core::DartStats ShardSupervisor::shard_stats(std::uint32_t shard) const {
+  assert(finished_ && "results require finish()");
+  return shards_[shard]->result;
+}
+
+core::DartStats ShardSupervisor::merged_stats() const {
+  assert(finished_ && "results require finish()");
+  core::DartStats merged;
+  for (const auto& shard : shards_) merged += shard->result;
+  return merged;
+}
+
+core::RuntimeHealth ShardSupervisor::health() const {
+  assert(finished_ && "results require finish()");
+  core::RuntimeHealth merged;
+  for (const auto& shard : shards_) merged += shard->health;
+  return merged;
+}
+
+std::vector<core::RttSample> ShardSupervisor::merged_samples() const {
+  assert(finished_ && "results require finish()");
+  std::vector<core::RttSample> merged;
+  for (std::uint32_t i = 0; i < shards(); ++i) {
+    std::vector<core::RttSample> committed =
+        coordinator_.committed_samples(i);
+    merged.insert(merged.end(), committed.begin(), committed.end());
+  }
+  std::sort(merged.begin(), merged.end(), core::sample_less);
+  return merged;
+}
+
+bool ShardSupervisor::await_detached(std::uint64_t timeout_ns) const {
+  assert(finished_ && "await_detached() requires finish()");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  for (const auto& shard : shards_) {
+    for (const auto& inc : shard->detached) {
+      while (!inc->exited.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,258 @@
+// ShardSupervisor: the sharded replay runtime with crash recovery.
+//
+//                       +-> [ring] -> worker 0 --cut--> coordinator
+//   packets -> router --+-> [ring] -> worker 1 --cut-->    |
+//              (epoch barriers)                         restore on crash
+//
+// Same flow-affinity sharding contract as ShardedMonitor (one router
+// thread, one worker per shard, batched SPSC handoff, bounded backpressure
+// with shedding), plus a recovery layer that survives worker crashes
+// without losing the whole measurement window:
+//
+//   * The router injects *epoch barrier* markers into each shard's stream
+//     (every N delivered packets and/or T virtual seconds — see
+//     CheckpointPolicy). A marker is an in-band quiesce point: when the
+//     worker pops it, everything before it has been processed, so the
+//     monitor is consistent with a well-defined replay cursor and the
+//     worker cuts a CheckpointImage and commits it — together with the
+//     samples emitted since the last commit — to the CheckpointCoordinator.
+//
+//   * The router watches worker health while delivering: a worker that
+//     exited early (kill fault / crash-turned-clean-exit) is detected by
+//     its dead flag; a worker whose packets_done heartbeat stays frozen
+//     through hang_detection_ns of backpressure is declared hung and
+//     force-detached (its ring is unsalvageable — the zombie may still pop
+//     from it — so undelivered packets are accounted `abandoned`).
+//
+//   * Recovery rehydrates a fresh monitor from the last committed image,
+//     fast-forwards the shard's input from the checkpoint cursor (a dead
+//     worker's unconsumed ring content and parked batch are requeued to the
+//     successor in FIFO order — `replayed_after_restore`), applies a linear
+//     restart backoff, and is bounded by `restart_budget` restarts per
+//     shard; exceeding the budget tombstones the shard, which degrades to
+//     the shed path (stats salvaged from the last committed image, all
+//     further input shed and accounted).
+//
+// The crash window is exact: packets a dead worker processed after its
+// last committed cut — and only those — are `lost_to_crash`, and the
+// extended identity
+//
+//     processed + shed + abandoned + lost_to_crash == routed
+//
+// holds per shard and merged, under any number of crashes. With barriers
+// flowing, the loss window is bounded by the checkpoint cadence; a kill
+// landing exactly on a barrier loses nothing.
+//
+// Determinism: kill points, barrier cursors, lost_to_crash, and the final
+// processed/sample totals are functions of the (trace, seed, plan) alone.
+// Only replayed_after_restore and the backpressure counters depend on
+// timing (how much the router managed to enqueue before noticing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "analytics/sample_log.hpp"
+#include "common/packet.hpp"
+#include "core/config.hpp"
+#include "core/rtt_sample.hpp"
+#include "core/stats.hpp"
+#include "runtime/checkpoint_coordinator.hpp"
+#include "runtime/overload_policy.hpp"
+#include "runtime/replay_monitor.hpp"
+#include "runtime/shard_router.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace dart::runtime {
+
+#if defined(DART_FAULT_INJECTION)
+class FaultPlan;
+#endif
+
+struct SupervisorConfig {
+  std::uint32_t shards = 1;
+  std::size_t batch_size = 256;
+  std::size_t queue_batches = 64;
+  std::uint64_t route_seed = 0xDA27'0002;
+  OverloadPolicy overload;
+
+  /// Per-worker shutdown join bound (0 = wait forever), as in
+  /// ShardedConfig. A worker that misses it at finish() is abandoned; its
+  /// stats are salvaged from its last committed checkpoint.
+  std::uint64_t join_timeout_ns = 30'000'000'000ULL;  // 30 s
+
+  /// Barrier cadence. Disabled (the default) means no checkpoints are ever
+  /// cut: recovery still restarts crashed workers, but from empty state,
+  /// and the whole pre-crash window counts as lost.
+  CheckpointPolicy checkpoint;
+
+  /// Restarts each shard may consume before it is tombstoned (degraded to
+  /// the shed path for the rest of the run).
+  std::uint32_t restart_budget = 3;
+
+  /// Linear restart backoff: restart #k sleeps k * restart_backoff_ns
+  /// before the replacement worker starts (0 = none).
+  std::uint64_t restart_backoff_ns = 0;
+
+  /// A worker whose heartbeat makes no progress for this long while the
+  /// router is backpressured on its full ring is declared hung and
+  /// force-detached. 0 disables hang detection (hangs then surface at
+  /// finish() via join_timeout_ns).
+  std::uint64_t hang_detection_ns = 2'000'000'000ULL;  // 2 s
+
+#if defined(DART_FAULT_INJECTION)
+  /// Fault-injection hooks (chaos suite); must outlive the supervisor.
+  /// Hooks apply to packet batches only — barrier markers commit even at a
+  /// kill point, which is what makes kill-at-barrier lossless.
+  FaultPlan* faults = nullptr;
+#endif
+};
+
+class ShardSupervisor {
+ public:
+  ShardSupervisor(const SupervisorConfig& config, MonitorFactory factory);
+
+  /// Every shard runs a private DartMonitor with this config (checkpoint
+  /// support included).
+  ShardSupervisor(const SupervisorConfig& config,
+                  const core::DartConfig& dart_config);
+
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Route one packet (caller thread only, monitor arrival order).
+  void process(const PacketRecord& packet);
+  void process_all(std::span<const PacketRecord> packets);
+
+  /// Flush, run end-of-input recovery (a worker that dies while draining is
+  /// still restarted and its backlog replayed), join everyone, assemble
+  /// results. Idempotent.
+  void finish();
+
+  std::uint32_t shards() const { return router_.shards(); }
+  const SupervisorConfig& config() const { return config_; }
+
+  /// Per-shard / merged counters; valid only after finish(). Shards that
+  /// ended tombstoned or abandoned report the stats of their last committed
+  /// checkpoint (zeros if none) plus the router-side RuntimeHealth.
+  core::DartStats shard_stats(std::uint32_t shard) const;
+  core::DartStats merged_stats() const;
+  core::RuntimeHealth health() const;
+
+  /// All *committed* samples in canonical sample_less order; valid only
+  /// after finish(). Samples a crashed worker emitted after its last
+  /// commit are part of the loss window and absent by design.
+  std::vector<core::RttSample> merged_samples() const;
+
+  /// Committed checkpoint images cut across the run.
+  std::uint64_t checkpoints_cut() const {
+    return coordinator_.total_checkpoints_cut();
+  }
+
+  const CheckpointCoordinator& coordinator() const { return coordinator_; }
+
+  /// Wait for force-detached workers (hung, later released) to exit.
+  /// Valid only after finish(); true when none remain running.
+  bool await_detached(std::uint64_t timeout_ns) const;
+
+ private:
+  using PacketBatch = std::vector<PacketRecord>;
+
+  /// One ring entry: either a packet batch or an epoch barrier marker.
+  struct Work {
+    PacketBatch batch;
+    bool marker = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t cursor = 0;  ///< shard packets delivered before this point
+  };
+
+  /// One worker lifetime. Each restart builds a fresh Incarnation — ring
+  /// included, because a hung predecessor may still pop from its own ring.
+  /// shared_ptr keepalive as in ShardedMonitor: a detached zombie that
+  /// wakes up later only ever touches its own, still-live Incarnation.
+  struct Incarnation {
+    explicit Incarnation(std::size_t queue_batches) : queue(queue_batches) {}
+
+    SpscRing<Work> queue;
+    std::unique_ptr<ReplayMonitor> monitor;
+    std::vector<core::RttSample> pending;  ///< emitted, not yet committed
+    core::DartStats final_stats;           ///< written by worker before exit
+    std::thread thread;
+    std::uint32_t shard = 0;
+    std::uint64_t id = 0;           ///< coordinator incarnation id
+    std::uint64_t base_cursor = 0;  ///< shard-stream position at start
+    CheckpointCoordinator* coordinator = nullptr;
+    std::vector<Work> limbo;  ///< popped-unprocessed work parked at a kill
+
+    /// Heartbeat: shard-stream packets processed by *this* incarnation.
+    /// base_cursor + packets_done is the incarnation's absolute frontier.
+    std::atomic<std::uint64_t> packets_done{0};
+    std::atomic<bool> input_done{false};
+    std::atomic<bool> dead{false};    ///< exited early (kill fault)
+    std::atomic<bool> exited{false};  ///< worker loop finished (all paths)
+
+#if defined(DART_FAULT_INJECTION)
+    FaultPlan* faults = nullptr;
+    std::uint64_t batches_done = 0;  ///< hook clock, incarnation-local
+#endif
+  };
+
+  struct Shard {
+    std::uint32_t index = 0;
+    std::shared_ptr<Incarnation> inc;  ///< current owner; null once tombstoned
+    std::vector<std::shared_ptr<Incarnation>> detached;  ///< hung zombies
+    PacketBatch pending;               ///< router-side accumulation
+    std::uint64_t routed = 0;          ///< handed to flush (incl. later shed)
+    std::uint64_t delivered = 0;       ///< pushed into the pipeline
+    std::uint64_t epoch = 0;
+    std::uint64_t last_barrier_delivered = 0;
+    std::uint64_t last_barrier_ts = 0;
+    bool barrier_ts_armed = false;
+    std::uint64_t last_ts = 0;
+    std::uint32_t restarts = 0;
+    bool tombstoned = false;
+    bool abandoned_at_shutdown = false;
+    core::DartStats salvage_stats;  ///< from the last image, for dead ends
+    core::RuntimeHealth health;     ///< router-side accounting
+    core::DartStats result;         ///< assembled by finish()
+
+    // Heartbeat tracking for hang detection (router-side).
+    std::uint64_t hb_incarnation = 0;
+    std::uint64_t hb_done = 0;
+    std::uint64_t hb_since_ns = 0;
+    bool hb_armed = false;
+  };
+
+  /// Launch a fresh incarnation (claiming coordinator ownership); returns
+  /// whether `image` was successfully restored into its monitor.
+  bool start(Shard& shard, std::uint64_t base_cursor,
+             const core::CheckpointImage* image);
+  void flush_shard(Shard& shard);
+  void maybe_barrier(Shard& shard);
+  void deliver(Shard& shard, Work&& work);
+  void requeue(Shard& shard, std::vector<Work>&& carryover);
+  void shed_work(Shard& shard, const Work& work);
+  void recover_dead(Shard& shard);
+  void recover_hung(Shard& shard);
+  void tombstone(Shard& shard, std::vector<Work>&& carryover);
+  void account_crash_window(Shard& shard, std::uint64_t base,
+                            std::uint64_t frontier,
+                            std::uint64_t restored_cursor);
+  bool wait_exited(const Incarnation& inc, std::uint64_t timeout_ns) const;
+  static void worker_loop(Incarnation& inc);
+  static void commit_barrier(Incarnation& inc, const Work& marker);
+
+  SupervisorConfig config_;
+  MonitorFactory factory_;
+  ShardRouter router_;
+  CheckpointCoordinator coordinator_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+}  // namespace dart::runtime

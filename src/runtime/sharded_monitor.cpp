@@ -151,6 +151,11 @@ void ShardedMonitor::join_or_detach(Shard& shard) {
       std::chrono::nanoseconds(config_.join_timeout_ns);
   while (!shard.exited.load(std::memory_order_acquire)) {
     if (std::chrono::steady_clock::now() >= deadline) {
+      // Deadline racing a clean exit must side with the worker: without
+      // this final re-check, a worker that finishes its last batch right
+      // at the deadline gets detached and its fully-merged stats and
+      // samples silently discarded.
+      if (shard.exited.load(std::memory_order_acquire)) break;
       // The worker is wedged. Abandon it with a diagnostic rather than
       // hanging shutdown forever; its keepalive reference makes a later
       // wake-up safe, and its results are written off as abandoned.
@@ -190,7 +195,11 @@ void ShardedMonitor::finish() {
   for (auto& shard : shards_) {
     if (shard->detached) {
       // Worker may still be running: its monitor stats and samples are
-      // unreadable. Report only the router-side accounting.
+      // unreadable. Report only the router-side accounting (the dead flag
+      // is atomic, so a kill observed before the detach still counts).
+      if (shard->dead.load(std::memory_order_acquire)) {
+        shard->health.workers_killed = 1;
+      }
       shard->result = core::DartStats{};
     } else {
       if (shard->dead.load(std::memory_order_acquire)) {

@@ -48,6 +48,23 @@ TEST(SampleLog, EmptyRoundTrip) {
   EXPECT_TRUE(loaded->empty());
 }
 
+TEST(SampleLog, TruncateRollsBackToASampleCursor) {
+  SampleLog log;
+  for (int i = 0; i < 8; ++i) {
+    log.append(sample(usec(i), usec(i) + usec(50)));
+  }
+  // Rollback to a checkpoint cursor drops exactly the post-cut tail.
+  log.truncate(3);
+  ASSERT_EQ(log.size(), 3U);
+  EXPECT_EQ(log.samples()[2].seq_ts, usec(2));
+  // Truncating past the end (or to the same size) is a no-op.
+  log.truncate(100);
+  log.truncate(3);
+  EXPECT_EQ(log.size(), 3U);
+  log.truncate(0);
+  EXPECT_TRUE(log.empty());
+}
+
 TEST(SampleLog, RejectsMissingHeader) {
   std::stringstream buffer("1,2,3\n");
   EXPECT_FALSE(read_samples_csv(buffer).has_value());

@@ -14,6 +14,8 @@
 // the chaos-tsan CI job).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/dart_monitor.hpp"
@@ -77,13 +79,24 @@ RunResult fault_free_reference(const trace::Trace& trace) {
 
 TEST(Chaos, StalledWorkerShedsInsteadOfDeadlocking) {
   const trace::Trace trace = chaos_workload(42);
-  // Shard 0 sleeps 30 ms before every batch — far past the 10 ms shed
+  // Shard 0 sleeps 100 ms before every batch — far past the 10 ms shed
   // deadline — so its ring stays full and the router must shed. The old
   // runtime's unbounded yield loop would hang here forever.
   runtime::FaultPlan plan;
   plan.stall(/*shard=*/0, /*first_batch=*/0,
-             /*batches=*/~std::uint64_t{0} >> 1, /*delay_ns=*/30'000'000);
-  const RunResult faulty = run_with_plan(trace, &plan);
+             /*batches=*/~std::uint64_t{0} >> 1, /*delay_ns=*/100'000'000);
+  runtime::ShardedConfig config = chaos_config(&plan);
+  // The shed decision accumulates *requested* backoff, not wall time. On an
+  // oversubscribed host a starved router may get only a handful of push
+  // attempts per stall window, so climb in 1-2 ms steps: the deadline is
+  // then reached within ~7 attempts per episode, load notwithstanding.
+  config.overload.backoff_initial_ns = 1'000'000;  // 1 ms
+  config.overload.backoff_max_ns = 2'000'000;      // 2 ms
+  runtime::ShardedMonitor sharded(config, monitor_config());
+  sharded.process_all(trace.packets());
+  sharded.finish();
+  const RunResult faulty{sharded.merged_stats(), sharded.health(),
+                         sharded.merged_samples()};
 
   EXPECT_GT(faulty.health.shed_packets, 0U);
   EXPECT_GT(faulty.health.backpressure_events, 0U);
@@ -171,6 +184,52 @@ TEST(Chaos, HangedWorkerIsForceDetachedNotWaitedForever) {
   // here keeps the sanitizers' end-of-process thread accounting clean.
   plan.release_hangs();
   EXPECT_TRUE(sharded.await_detached(sec(30)));
+}
+
+TEST(Chaos, CleanExitAtJoinDeadlineIsNeverAbandoned) {
+  // Pins the join_or_detach ordering bug: the deadline check used to fire
+  // without re-reading `exited`, so a worker that finished its final batch
+  // right at the deadline could be detached anyway — its fully-merged
+  // DartStats discarded while its packets stayed counted in `routed`.
+  // The release time is swept across the join deadline so some iterations
+  // join cleanly, some detach, and some land in the race window; the
+  // contract must hold on every side of it.
+  const trace::Trace trace = chaos_workload(77);
+  constexpr std::uint64_t kJoinTimeoutNs = 20'000'000;  // 20 ms
+  for (int i = 0; i < 10; ++i) {
+    runtime::FaultPlan plan;
+    plan.hang(/*shard=*/0, /*at_batch=*/0);
+    runtime::ShardedConfig config = chaos_config(&plan);
+    config.join_timeout_ns = kJoinTimeoutNs;
+    runtime::ShardedMonitor sharded(config, monitor_config());
+    sharded.process_all(trace.packets());
+
+    // Release the hang just around the deadline (16..25 ms in 1 ms steps).
+    std::thread releaser([&plan, i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(16 + i));
+      plan.release_hangs();
+    });
+    sharded.finish();
+    releaser.join();
+
+    const core::RuntimeHealth health = sharded.health();
+    const core::DartStats merged = sharded.merged_stats();
+    // The accounting identity holds regardless of which way the race went.
+    EXPECT_EQ(merged.packets_processed + health.shed_packets +
+                  health.abandoned_packets,
+              trace.packets().size());
+    if (health.forced_detaches == 0) {
+      // The worker exited in time, so its work must be fully merged:
+      // nothing abandoned, shard 0's counters and samples present.
+      EXPECT_EQ(health.abandoned_packets, 0U);
+      EXPECT_GT(sharded.shard_stats(0).packets_processed, 0U);
+    } else {
+      // Genuinely wedged past the deadline; the release (already sent)
+      // lets the zombie run out against its keepalive reference.
+      EXPECT_EQ(sharded.shard_stats(0).packets_processed, 0U);
+      EXPECT_TRUE(sharded.await_detached(sec(30)));
+    }
+  }
 }
 
 TEST(Chaos, JitteredConsumptionBackpressuresWithoutLoss) {
