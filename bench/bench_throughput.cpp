@@ -14,6 +14,11 @@
 #include "bench_util.hpp"
 #include "runtime/sharded_monitor.hpp"
 
+#if defined(DART_TELEMETRY)
+#include "telemetry/registry.hpp"
+#include "telemetry/runtime_metrics.hpp"
+#endif
+
 using namespace dart;
 
 namespace {
@@ -142,6 +147,42 @@ BENCHMARK(BM_ShardedDart)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+#if defined(DART_TELEMETRY)
+// BM_ShardedDart with the full RuntimeMetrics instrumentation wired in.
+// Compare against the matching BM_ShardedDart row: the telemetry overhead
+// budget is <2% on items_per_second (all hot-path sites are relaxed
+// atomics; the authoritative tier folds once at finish()).
+void BM_ShardedDartTelemetry(benchmark::State& state) {
+  const trace::Trace& trace = shared_trace();
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::DartConfig config;
+    config.rt_size = 1 << 16;
+    config.pt_size = 1 << 12;
+    telemetry::Registry registry(shards);
+    telemetry::RuntimeMetrics metrics(registry);
+    runtime::ShardedConfig sharded_config;
+    sharded_config.shards = shards;
+    sharded_config.telemetry = &metrics;
+    runtime::ShardedMonitor sharded(sharded_config, config);
+    sharded.process_all(trace.packets());
+    sharded.finish();
+    benchmark::DoNotOptimize(sharded.merged_stats().samples);
+    benchmark::DoNotOptimize(metrics.routed->total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_ShardedDartTelemetry)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+#endif
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   for (auto _ : state) {

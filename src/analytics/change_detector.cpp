@@ -57,4 +57,10 @@ std::optional<DetectionEvent> ChangeDetector::add(Timestamp rtt,
   return emitted;
 }
 
+void ChangeDetector::finish() {
+  auto window = filter_.flush();
+  if (!window) return;
+  windows_.push_back(*window);
+}
+
 }  // namespace dart::analytics

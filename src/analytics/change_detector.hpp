@@ -45,6 +45,13 @@ class ChangeDetector {
   /// Feed one raw RTT sample; may emit a suspicion or confirmation event.
   std::optional<DetectionEvent> add(Timestamp rtt, Timestamp sample_ts);
 
+  /// End-of-stream finalization: flush the min filter's trailing partial
+  /// window into window_history() so a short flow's only samples are not
+  /// silently dropped. The partial window is recorded (flagged) but never
+  /// drives a state transition — the thresholds are calibrated for full
+  /// windows, and a 1-sample tail could false-confirm. Idempotent per tail.
+  void finish();
+
   DetectionState state() const { return state_; }
   const std::vector<DetectionEvent>& events() const { return events_; }
   const std::vector<WindowMin>& window_history() const { return windows_; }

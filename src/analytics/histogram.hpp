@@ -26,7 +26,9 @@ class LogHistogram {
   Timestamp min() const { return seen_min_; }
   Timestamp max() const { return seen_max_; }
 
-  /// Approximate quantile (q in [0, 1]) via bin interpolation.
+  /// Approximate quantile (q in [0, 1]) via bin interpolation. The target
+  /// rank is at least one sample, so q=0 answers the first *occupied* bin
+  /// (an empty leading bin never satisfies "cumulative 0 >= 0").
   double quantile(double q) const;
 
   /// Fraction of values <= threshold.
@@ -36,11 +38,35 @@ class LogHistogram {
   double bin_value(std::size_t i) const;
   const std::vector<std::uint64_t>& bins() const { return counts_; }
 
-  /// Merge another histogram with identical binning.
+  /// Bin that `value` lands in (clamped to the edge bins, like add()).
+  std::size_t bin_index(Timestamp value) const { return bin_of(value); }
+
+  /// Bin-edge geometry, exported so external aggregators (the telemetry
+  /// fold) can mirror the layout exactly.
+  double log_min() const { return log_min_; }
+  double log_step() const { return log_step_; }
+
+  /// True when `other` has byte-identical binning (same geometry and bin
+  /// count), i.e. merge() will be an exact bin-by-bin sum.
+  bool same_layout(const LogHistogram& other) const;
+
+  /// Fold another histogram's mass into this one. Identical layouts merge
+  /// bin by bin (exact); differing layouts are remapped by each source
+  /// bin's representative value, clamped to this histogram's range like
+  /// add() — every sample is preserved, so count() and the quantile/cdf
+  /// denominators stay consistent either way.
   void merge(const LogHistogram& other);
+
+  /// Rebuild a histogram from an exported layout plus raw bin counts (the
+  /// telemetry fold's import path). `seen_min`/`seen_max` seed the extreme
+  /// trackers; total is the sum of `bins`.
+  static LogHistogram from_layout(double log_min, double log_step,
+                                  std::vector<std::uint64_t> bins,
+                                  Timestamp seen_min, Timestamp seen_max);
 
  private:
   std::size_t bin_of(Timestamp value) const;
+  std::size_t bin_for_log(double log_value) const;
 
   double log_min_;
   double log_step_;

@@ -6,6 +6,7 @@ namespace dart::analytics {
 
 std::optional<WindowMin> MinFilter::add(Timestamp rtt, Timestamp sample_ts) {
   ++samples_seen_;
+  last_sample_ts_ = sample_ts;
   if (in_window_ == 0) {
     current_min_ = rtt;
   } else {
@@ -18,6 +19,20 @@ std::optional<WindowMin> MinFilter::add(Timestamp rtt, Timestamp sample_ts) {
   out.min_rtt = current_min_;
   out.window_end_ts = sample_ts;
   out.samples_seen = samples_seen_;
+  out.samples_in_window = window_size_;
+  in_window_ = 0;
+  return out;
+}
+
+std::optional<WindowMin> MinFilter::flush() {
+  if (in_window_ == 0) return std::nullopt;
+  WindowMin out;
+  out.window_index = windows_emitted_++;
+  out.min_rtt = current_min_;
+  out.window_end_ts = last_sample_ts_;
+  out.samples_seen = samples_seen_;
+  out.samples_in_window = in_window_;
+  out.partial = true;
   in_window_ = 0;
   return out;
 }

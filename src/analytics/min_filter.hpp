@@ -19,6 +19,11 @@ struct WindowMin {
   Timestamp min_rtt = 0;
   Timestamp window_end_ts = 0;      ///< ACK timestamp of the closing sample
   std::uint64_t samples_seen = 0;   ///< cumulative samples at window close
+  std::uint32_t samples_in_window = 0;  ///< window_size, or fewer if partial
+  /// True when this window was closed by flush() before filling — the
+  /// end-of-stream tail. Its min is over fewer samples and correspondingly
+  /// noisier; consumers decide whether to act on it or only report it.
+  bool partial = false;
 };
 
 /// Emits one WindowMin per `window_size` consecutive samples.
@@ -28,6 +33,13 @@ class MinFilter {
 
   /// Feed one sample; returns the window summary when a window closes.
   std::optional<WindowMin> add(Timestamp rtt, Timestamp sample_ts);
+
+  /// Close the current window even if it is not full — the end-of-replay
+  /// path. Without this a short flow whose sample count never reaches
+  /// `window_size` contributes *nothing* to the windowed-min stream. The
+  /// emitted window is flagged `partial` and timestamped with the last
+  /// sample's time; returns nullopt when no sample is pending.
+  std::optional<WindowMin> flush();
 
   /// Minimum of the (possibly partial) current window, if any sample seen.
   std::optional<Timestamp> current_min() const {
@@ -41,6 +53,7 @@ class MinFilter {
   std::uint32_t window_size_;
   std::uint32_t in_window_ = 0;
   Timestamp current_min_ = 0;
+  Timestamp last_sample_ts_ = 0;
   std::uint64_t windows_emitted_ = 0;
   std::uint64_t samples_seen_ = 0;
 };

@@ -1,7 +1,6 @@
 #include "analytics/percentile.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -15,7 +14,10 @@ void PercentileSet::ensure_sorted() const {
 }
 
 double PercentileSet::percentile(double p) const {
-  assert(!values_.empty());
+  // An assert alone compiles out in release builds, turning the empty set
+  // into an out-of-bounds read of values_[0]; return the documented
+  // defined value instead.
+  if (values_.empty()) return 0.0;
   ensure_sorted();
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double rank =
@@ -28,13 +30,13 @@ double PercentileSet::percentile(double p) const {
 }
 
 Timestamp PercentileSet::min() const {
-  assert(!values_.empty());
+  if (values_.empty()) return 0;
   ensure_sorted();
   return values_.front();
 }
 
 Timestamp PercentileSet::max() const {
-  assert(!values_.empty());
+  if (values_.empty()) return 0;
   ensure_sorted();
   return values_.back();
 }

@@ -26,10 +26,14 @@ class PercentileSet {
   bool empty() const { return values_.empty(); }
 
   /// Percentile with linear interpolation between order statistics;
-  /// `p` in [0, 100]. Requires a non-empty set.
+  /// `p` in [0, 100]. An empty set answers 0.0 (like mean()/cdf_at()) —
+  /// never an out-of-bounds read; callers that must distinguish "no data"
+  /// check empty() first.
   double percentile(double p) const;
 
+  /// 0 on an empty set, like percentile().
   Timestamp min() const;
+  /// 0 on an empty set, like percentile().
   Timestamp max() const;
   double mean() const;
 

@@ -16,6 +16,10 @@ std::optional<PrefixChangeDetector::PrefixEvent> PrefixChangeDetector::add(
   return PrefixEvent{prefix, *event};
 }
 
+void PrefixChangeDetector::finish() {
+  for (auto& [prefix, detector] : detectors_) detector.finish();
+}
+
 std::vector<Ipv4Prefix> PrefixChangeDetector::confirmed() const {
   std::vector<Ipv4Prefix> out;
   for (const auto& [prefix, detector] : detectors_) {

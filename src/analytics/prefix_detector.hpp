@@ -31,6 +31,12 @@ class PrefixChangeDetector {
   /// Feed one sample; may emit a suspicion/confirmation for its prefix.
   std::optional<PrefixEvent> add(const core::RttSample& sample);
 
+  /// End-of-replay finalization: flush every prefix detector's trailing
+  /// partial window into its window history. Prefixes whose total sample
+  /// count never filled a single window thus still surface their min in
+  /// window_history() (flagged partial) instead of vanishing.
+  void finish();
+
   /// Prefixes whose detectors have confirmed a sustained RTT rise.
   std::vector<Ipv4Prefix> confirmed() const;
 

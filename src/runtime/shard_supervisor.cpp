@@ -11,6 +11,10 @@
 #include "runtime/fault_injection.hpp"
 #endif
 
+#if defined(DART_TELEMETRY)
+#include "telemetry/runtime_metrics.hpp"
+#endif
+
 namespace dart::runtime {
 namespace {
 
@@ -61,6 +65,9 @@ bool ShardSupervisor::start(Shard& shard, std::uint64_t base_cursor,
 #if defined(DART_FAULT_INJECTION)
   inc->faults = config_.faults;
 #endif
+#if defined(DART_TELEMETRY)
+  inc->metrics = config_.telemetry;
+#endif
   Incarnation* raw = inc.get();
   inc->monitor = factory_(shard.index, [raw](const core::RttSample& sample) {
     raw->pending.push_back(sample);
@@ -94,10 +101,30 @@ void ShardSupervisor::commit_barrier(Incarnation& inc, const Work& marker) {
   if (inc.monitor->supports_checkpoint()) image = inc.monitor->snapshot(meta);
   std::vector<core::RttSample> samples = std::move(inc.pending);
   inc.pending.clear();
+#if defined(DART_TELEMETRY)
+  const auto commit_start = inc.metrics != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+#endif
   // Fenced: a zombie's commit is rejected and its samples discarded — they
   // belong to a window already written off as lost.
-  inc.coordinator->commit(inc.shard, inc.id, std::move(image), meta,
-                          std::move(samples));
+  const bool accepted = inc.coordinator->commit(
+      inc.shard, inc.id, std::move(image), meta, std::move(samples));
+#if defined(DART_TELEMETRY)
+  if (inc.metrics != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - commit_start;
+    inc.metrics->commit_latency->at(0).observe(static_cast<Timestamp>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    if (accepted) {
+      inc.metrics->checkpoint_commits->at(inc.shard).inc();
+    } else {
+      inc.metrics->checkpoint_rejected->at(inc.shard).inc();
+    }
+  }
+#else
+  (void)accepted;
+#endif
 }
 
 void ShardSupervisor::worker_loop(Incarnation& inc) {
@@ -123,11 +150,28 @@ void ShardSupervisor::worker_loop(Incarnation& inc) {
         inc.faults->after_pop(inc.shard, inc.batches_done);
       }
 #endif
+#if defined(DART_TELEMETRY)
+      const auto batch_start = inc.metrics != nullptr
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+#endif
       for (const PacketRecord& packet : work.batch) {
         inc.monitor->process(packet);
       }
       inc.packets_done.fetch_add(work.batch.size(),
                                  std::memory_order_release);
+#if defined(DART_TELEMETRY)
+      if (inc.metrics != nullptr) {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - batch_start;
+        inc.metrics->batch_latency->at(inc.shard).observe(
+            static_cast<Timestamp>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()));
+        inc.metrics->worker_batches->at(inc.shard).inc();
+        inc.metrics->worker_packets->at(inc.shard).inc(work.batch.size());
+      }
+#endif
 #if defined(DART_FAULT_INJECTION)
       ++inc.batches_done;
 #endif
@@ -217,6 +261,10 @@ void ShardSupervisor::deliver(Shard& shard, Work&& work) {
   const std::uint64_t packets = work.batch.size();
   OverloadGovernor governor(config_.overload);
   bool contended = false;
+#if defined(DART_TELEMETRY)
+  telemetry::RuntimeMetrics* const tm = config_.telemetry;
+  bool backoff_counted = false;
+#endif
   for (;;) {
     if (shard.tombstoned) {
       shed_work(shard, work);
@@ -229,6 +277,12 @@ void ShardSupervisor::deliver(Shard& shard, Work&& work) {
     }
     if (inc.queue.try_push(std::move(work))) {
       shard.delivered += packets;
+#if defined(DART_TELEMETRY)
+      if (tm != nullptr) {
+        tm->ring_occupancy->at(shard.index)
+            .set(static_cast<std::int64_t>(inc.queue.size_approx()));
+      }
+#endif
       return;
     }
     if (!contended) {
@@ -254,11 +308,23 @@ void ShardSupervisor::deliver(Shard& shard, Work&& work) {
     }
     const OverloadDecision decision = governor.next();
     if (decision.action == OverloadAction::kShed) {
+#if defined(DART_TELEMETRY)
+      if (tm != nullptr) tm->governor_sheds->at(shard.index).inc();
+#endif
       shed_work(shard, work);
       return;
     }
     if (decision.action == OverloadAction::kSleep) {
       ++shard.health.backoff_sleeps;
+#if defined(DART_TELEMETRY)
+      if (tm != nullptr) {
+        tm->backpressure_sleeps->at(shard.index).inc();
+        if (!backoff_counted) {
+          backoff_counted = true;  // ladder transition, not per-sleep
+          tm->governor_backoffs->at(shard.index).inc();
+        }
+      }
+#endif
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(decision.sleep_ns));
     } else {
@@ -499,6 +565,17 @@ void ShardSupervisor::finish() {
     }
     shard.result.runtime = shard.health;
   }
+#if defined(DART_TELEMETRY)
+  // Quiesce fold: authoritative counters come from the merged result only
+  // (see RuntimeMetrics) — live per-batch counts include crash windows the
+  // rollback discarded, so they must never feed this tier.
+  if (config_.telemetry != nullptr) {
+    for (const auto& shard : shards_) {
+      config_.telemetry->fold_authoritative(shard->index, shard->routed,
+                                            shard->result);
+    }
+  }
+#endif
 }
 
 core::DartStats ShardSupervisor::shard_stats(std::uint32_t shard) const {

@@ -66,6 +66,12 @@
 #include "runtime/shard_router.hpp"
 #include "runtime/spsc_ring.hpp"
 
+#if defined(DART_TELEMETRY)
+namespace dart::telemetry {
+struct RuntimeMetrics;
+}  // namespace dart::telemetry
+#endif
+
 namespace dart::runtime {
 
 #if defined(DART_FAULT_INJECTION)
@@ -108,6 +114,12 @@ struct SupervisorConfig {
   /// Hooks apply to packet batches only — barrier markers commit even at a
   /// kill point, which is what makes kill-at-barrier lossless.
   FaultPlan* faults = nullptr;
+#endif
+
+#if defined(DART_TELEMETRY)
+  /// Standard metric families to instrument (see ShardedConfig::telemetry);
+  /// must outlive every worker. nullptr runs uninstrumented.
+  telemetry::RuntimeMetrics* telemetry = nullptr;
 #endif
 };
 
@@ -199,6 +211,9 @@ class ShardSupervisor {
 #if defined(DART_FAULT_INJECTION)
     FaultPlan* faults = nullptr;
     std::uint64_t batches_done = 0;  ///< hook clock, incarnation-local
+#endif
+#if defined(DART_TELEMETRY)
+    telemetry::RuntimeMetrics* metrics = nullptr;  ///< worker-read, may be null
 #endif
   };
 

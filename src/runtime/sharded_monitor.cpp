@@ -11,6 +11,10 @@
 #include "runtime/fault_injection.hpp"
 #endif
 
+#if defined(DART_TELEMETRY)
+#include "telemetry/runtime_metrics.hpp"
+#endif
+
 namespace dart::runtime {
 
 ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
@@ -39,6 +43,9 @@ void ShardedMonitor::start(MonitorFactory factory) {
     shard->index = i;
 #if defined(DART_FAULT_INJECTION)
     shard->faults = config_.faults;
+#endif
+#if defined(DART_TELEMETRY)
+    shard->metrics = config_.telemetry;
 #endif
     // The callback writes the worker-private log: the worker thread is the
     // only caller of monitor->process, hence the only writer.
@@ -74,9 +81,26 @@ void ShardedMonitor::worker_loop(Shard& shard) {
         shard.faults->after_pop(shard.index, batches_done);
       }
 #endif
+#if defined(DART_TELEMETRY)
+      const auto batch_start = shard.metrics != nullptr
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+#endif
       for (const PacketRecord& packet : batch) {
         shard.monitor->process(packet);
       }
+#if defined(DART_TELEMETRY)
+      if (shard.metrics != nullptr) {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - batch_start;
+        shard.metrics->batch_latency->at(shard.index)
+            .observe(static_cast<Timestamp>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()));
+        shard.metrics->worker_batches->at(shard.index).inc();
+        shard.metrics->worker_packets->at(shard.index).inc(batch.size());
+      }
+#endif
       batch.clear();
       ++batches_done;
       continue;
@@ -102,11 +126,21 @@ void ShardedMonitor::flush_shard(Shard& shard) {
   shard.pending.reserve(config_.batch_size);
   shard.routed_packets += batch.size();
   push_or_shed(shard, std::move(batch));
+#if defined(DART_TELEMETRY)
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->ring_occupancy->at(shard.index)
+        .set(static_cast<std::int64_t>(shard.queue.size_approx()));
+  }
+#endif
 }
 
 void ShardedMonitor::push_or_shed(Shard& shard, PacketBatch&& batch) {
   OverloadGovernor governor(config_.overload);
   bool contended = false;
+#if defined(DART_TELEMETRY)
+  telemetry::RuntimeMetrics* const tm = config_.telemetry;
+  bool backoff_counted = false;
+#endif
   for (;;) {
     // A dead worker consumes nothing ever again: shed without waiting.
     if (shard.dead.load(std::memory_order_relaxed)) break;
@@ -116,9 +150,23 @@ void ShardedMonitor::push_or_shed(Shard& shard, PacketBatch&& batch) {
       ++shard.health.backpressure_events;
     }
     const OverloadDecision decision = governor.next();
-    if (decision.action == OverloadAction::kShed) break;
+    if (decision.action == OverloadAction::kShed) {
+#if defined(DART_TELEMETRY)
+      if (tm != nullptr) tm->governor_sheds->at(shard.index).inc();
+#endif
+      break;
+    }
     if (decision.action == OverloadAction::kSleep) {
       ++shard.health.backoff_sleeps;
+#if defined(DART_TELEMETRY)
+      if (tm != nullptr) {
+        tm->backpressure_sleeps->at(shard.index).inc();
+        if (!backoff_counted) {
+          backoff_counted = true;  // ladder transition, not per-sleep
+          tm->governor_backoffs->at(shard.index).inc();
+        }
+      }
+#endif
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(decision.sleep_ns));
     } else {
@@ -210,6 +258,19 @@ void ShardedMonitor::finish() {
     }
     shard->result.runtime = shard->health;
   }
+#if defined(DART_TELEMETRY)
+  // Quiesce fold: authoritative counters are written exactly once, from
+  // the merged per-shard results, after workers have joined. Folding live
+  // would double-count work a force-detached worker did but the merge
+  // discarded.
+  if (config_.telemetry != nullptr) {
+    for (const auto& shard : shards_) {
+      config_.telemetry->fold_authoritative(shard->index,
+                                            shard->routed_packets,
+                                            shard->result);
+    }
+  }
+#endif
 }
 
 const analytics::SampleLog& ShardedMonitor::shard_samples(

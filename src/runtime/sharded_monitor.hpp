@@ -52,6 +52,12 @@
 #include "runtime/shard_router.hpp"
 #include "runtime/spsc_ring.hpp"
 
+#if defined(DART_TELEMETRY)
+namespace dart::telemetry {
+struct RuntimeMetrics;
+}  // namespace dart::telemetry
+#endif
+
 namespace dart::runtime {
 
 #if defined(DART_FAULT_INJECTION)
@@ -88,6 +94,15 @@ struct ShardedConfig {
   /// (or at least every worker). Only exists in DART_FAULT_INJECTION
   /// builds — the release worker loop contains no hook sites at all.
   FaultPlan* faults = nullptr;
+#endif
+
+#if defined(DART_TELEMETRY)
+  /// Standard metric families to instrument; must outlive every worker
+  /// (keepalive-referenced like the shards themselves is overkill — the
+  /// registry typically outlives the whole run). nullptr runs
+  /// uninstrumented. Only exists in DART_TELEMETRY builds; with the option
+  /// OFF the hot path contains no telemetry sites at all.
+  telemetry::RuntimeMetrics* telemetry = nullptr;
 #endif
 };
 
@@ -167,6 +182,9 @@ class ShardedMonitor {
     core::DartStats result;                // snapshot assembled by finish()
 #if defined(DART_FAULT_INJECTION)
     FaultPlan* faults = nullptr;
+#endif
+#if defined(DART_TELEMETRY)
+    telemetry::RuntimeMetrics* metrics = nullptr;  // worker-read, may be null
 #endif
   };
 

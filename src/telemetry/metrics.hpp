@@ -1,0 +1,118 @@
+// Lock-free metric primitives for the telemetry registry.
+//
+// Each worker owns a private slot per metric family (one slot per shard),
+// so the hot path is a single relaxed atomic RMW with no sharing between
+// writers — the same discipline as the runtime's per-shard stats. Relaxed
+// ordering is sufficient: readers (the exporter) tolerate slightly stale
+// values and never use a metric to synchronize with other memory; exact
+// totals come from the quiesce-time fold after workers have joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analytics/histogram.hpp"
+#include "common/time.hpp"
+
+namespace dart::telemetry {
+
+/// Monotonic event count. set() exists for the quiesce-time fold, which
+/// overwrites live approximations with the authoritative merged result.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (ring occupancy, governor rung). Signed so
+/// add()-style deltas can go negative transiently without wrapping the
+/// exported value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-binned latency distribution with atomic bins; the writable twin of
+/// analytics::LogHistogram. observe() is one bin lookup plus one relaxed
+/// fetch_add; fold() exports the bins into a plain LogHistogram (via
+/// from_layout) for quantile math and cross-shard merging.
+class Histogram {
+ public:
+  Histogram(Timestamp min_value, Timestamp max_value,
+            std::uint32_t bins_per_decade)
+      : layout_(min_value, max_value, bins_per_decade),
+        bins_(layout_.bins().size()) {}
+
+  void observe(Timestamp value) {
+    bins_[layout_.bin_index(value)].fetch_add(1, std::memory_order_relaxed);
+    update_floor(seen_min_, value);
+    update_ceiling(seen_max_, value);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& bin : bins_) {
+      total += bin.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Snapshot the atomic bins into a plain LogHistogram with identical
+  /// layout — same_layout() holds across all folds of the same family, so
+  /// the cross-shard merge is an exact bin-by-bin sum.
+  analytics::LogHistogram fold() const {
+    std::vector<std::uint64_t> bins(bins_.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      bins[i] = bins_[i].load(std::memory_order_relaxed);
+      total += bins[i];
+    }
+    const Timestamp lo = seen_min_.load(std::memory_order_relaxed);
+    const Timestamp hi = seen_max_.load(std::memory_order_relaxed);
+    return analytics::LogHistogram::from_layout(
+        layout_.log_min(), layout_.log_step(), std::move(bins),
+        total == 0 ? 0 : lo, total == 0 ? 0 : hi);
+  }
+
+ private:
+  static void update_floor(std::atomic<Timestamp>& slot, Timestamp value) {
+    Timestamp cur = slot.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  static void update_ceiling(std::atomic<Timestamp>& slot, Timestamp value) {
+    Timestamp cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  analytics::LogHistogram layout_;  ///< bin geometry only; never add()ed to
+  std::vector<std::atomic<std::uint64_t>> bins_;
+  std::atomic<Timestamp> seen_min_{std::numeric_limits<Timestamp>::max()};
+  std::atomic<Timestamp> seen_max_{0};
+};
+
+}  // namespace dart::telemetry

@@ -1,0 +1,152 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dart::telemetry {
+
+CounterFamily::CounterFamily(std::string name, FamilyOptions options,
+                             std::size_t slots)
+    : name_(std::move(name)), options_(std::move(options)) {
+  for (std::size_t i = 0; i < std::max<std::size_t>(slots, 1); ++i) {
+    slots_.emplace_back();
+  }
+}
+
+std::uint64_t CounterFamily::total() const {
+  std::uint64_t sum = 0;
+  for (const Counter& slot : slots_) sum += slot.value();
+  return sum;
+}
+
+GaugeFamily::GaugeFamily(std::string name, FamilyOptions options,
+                         std::size_t slots)
+    : name_(std::move(name)), options_(std::move(options)) {
+  for (std::size_t i = 0; i < std::max<std::size_t>(slots, 1); ++i) {
+    slots_.emplace_back();
+  }
+}
+
+HistogramFamily::HistogramFamily(std::string name, HistogramOptions options,
+                                 std::size_t slots)
+    : name_(std::move(name)), options_(options) {
+  for (std::size_t i = 0; i < std::max<std::size_t>(slots, 1); ++i) {
+    slots_.emplace_back(options.min_value, options.max_value,
+                        options.bins_per_decade);
+  }
+}
+
+analytics::LogHistogram HistogramFamily::fold_all() const {
+  analytics::LogHistogram merged = slots_[0].fold();
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    merged.merge(slots_[i].fold());
+  }
+  return merged;
+}
+
+Registry::Registry(std::size_t default_slots)
+    : default_slots_(std::max<std::size_t>(default_slots, 1)) {}
+
+CounterFamily& Registry::counter(const std::string& name,
+                                 FamilyOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = counter_index_.find(name);
+      it != counter_index_.end()) {
+    return *it->second;
+  }
+  assert(gauge_index_.count(name) == 0 && histogram_index_.count(name) == 0 &&
+         "metric name reused across kinds");
+  const std::size_t slots = resolve_slots(options.slots);
+  CounterFamily& family =
+      counters_.emplace_back(CounterFamily(name, std::move(options), slots));
+  counter_index_.emplace(name, &family);
+  return family;
+}
+
+GaugeFamily& Registry::gauge(const std::string& name, FamilyOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return *it->second;
+  }
+  assert(counter_index_.count(name) == 0 &&
+         histogram_index_.count(name) == 0 &&
+         "metric name reused across kinds");
+  const std::size_t slots = resolve_slots(options.slots);
+  GaugeFamily& family =
+      gauges_.emplace_back(GaugeFamily(name, std::move(options), slots));
+  gauge_index_.emplace(name, &family);
+  return family;
+}
+
+HistogramFamily& Registry::histogram(const std::string& name,
+                                     HistogramOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = histogram_index_.find(name);
+      it != histogram_index_.end()) {
+    return *it->second;
+  }
+  assert(counter_index_.count(name) == 0 && gauge_index_.count(name) == 0 &&
+         "metric name reused across kinds");
+  const std::size_t slots = resolve_slots(options.slots);
+  HistogramFamily& family = histograms_.emplace_back(
+      HistogramFamily(name, std::move(options), slots));
+  histogram_index_.emplace(name, &family);
+  return family;
+}
+
+std::size_t Registry::family_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+TelemetrySnapshot Registry::snapshot(const SnapshotOptions& options) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TelemetrySnapshot snap;
+  for (const CounterFamily& family : counters_) {
+    if (options.deterministic_only && !family.deterministic()) continue;
+    CounterSnapshot out;
+    out.name = family.name();
+    out.help = family.help();
+    out.deterministic = family.deterministic();
+    out.per_slot.reserve(family.slots());
+    for (std::size_t i = 0; i < family.slots(); ++i) {
+      out.per_slot.push_back(family.at(i).value());
+      out.total += out.per_slot.back();
+    }
+    snap.counters.push_back(std::move(out));
+  }
+  for (const GaugeFamily& family : gauges_) {
+    if (options.deterministic_only && !family.deterministic()) continue;
+    GaugeSnapshot out;
+    out.name = family.name();
+    out.help = family.help();
+    out.deterministic = family.deterministic();
+    out.per_slot.reserve(family.slots());
+    for (std::size_t i = 0; i < family.slots(); ++i) {
+      out.per_slot.push_back(family.at(i).value());
+    }
+    snap.gauges.push_back(std::move(out));
+  }
+  for (const HistogramFamily& family : histograms_) {
+    if (options.deterministic_only && !family.deterministic()) continue;
+    HistogramSnapshot out;
+    out.name = family.name();
+    out.help = family.help();
+    out.deterministic = family.deterministic();
+    out.per_slot_counts.reserve(family.slots());
+    for (std::size_t i = 0; i < family.slots(); ++i) {
+      out.per_slot_counts.push_back(family.at(i).count());
+    }
+    out.folded = family.fold_all();
+    snap.histograms.push_back(std::move(out));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,187 @@
+// Metric registry: named families of per-shard metric slots.
+//
+// A *family* is one logical metric (say dart_routed_total) with one slot
+// per shard; workers write their own slot without synchronization and the
+// exporter reads across slots. Families are created once at startup (or
+// lazily at first use, under a mutex); the hot path never touches the
+// registry itself, only the slot reference it resolved up front.
+//
+// Determinism: each family declares whether its values are replay-stable —
+// derived from the deterministic merged result of a healthy fixed-seed run
+// — or wall-clock dependent (latency histograms, occupancy, backpressure).
+// snapshot({.deterministic_only = true}) keeps only the former, which is
+// what the two-runs-byte-identical test and the CI golden check export.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace dart::telemetry {
+
+struct FamilyOptions {
+  std::string help;
+  /// Slots in the family; 0 means the registry default (one per shard).
+  std::size_t slots = 0;
+  /// Replay-stable under a fixed seed (see file comment). Wall-clock
+  /// metrics must set this false or they poison deterministic exports.
+  bool deterministic = true;
+};
+
+struct HistogramOptions {
+  std::string help;
+  std::size_t slots = 0;
+  bool deterministic = false;  ///< latency is wall-clock by nature
+  Timestamp min_value = usec(1);
+  Timestamp max_value = sec(10);
+  std::uint32_t bins_per_decade = 10;
+};
+
+/// One named counter family. Slots live in a deque: metric slots hold
+/// std::atomic members (non-movable), and deque::emplace_back never
+/// relocates existing elements, so slot references stay valid forever.
+class CounterFamily {
+ public:
+  Counter& at(std::size_t slot) { return slots_[slot % slots_.size()]; }
+  const Counter& at(std::size_t slot) const {
+    return slots_[slot % slots_.size()];
+  }
+  std::size_t slots() const { return slots_.size(); }
+  std::uint64_t total() const;
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return options_.help; }
+  bool deterministic() const { return options_.deterministic; }
+
+ private:
+  friend class Registry;
+  CounterFamily(std::string name, FamilyOptions options, std::size_t slots);
+
+  std::string name_;
+  FamilyOptions options_;
+  std::deque<Counter> slots_;
+};
+
+class GaugeFamily {
+ public:
+  Gauge& at(std::size_t slot) { return slots_[slot % slots_.size()]; }
+  const Gauge& at(std::size_t slot) const {
+    return slots_[slot % slots_.size()];
+  }
+  std::size_t slots() const { return slots_.size(); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return options_.help; }
+  bool deterministic() const { return options_.deterministic; }
+
+ private:
+  friend class Registry;
+  GaugeFamily(std::string name, FamilyOptions options, std::size_t slots);
+
+  std::string name_;
+  FamilyOptions options_;
+  std::deque<Gauge> slots_;
+};
+
+class HistogramFamily {
+ public:
+  Histogram& at(std::size_t slot) { return slots_[slot % slots_.size()]; }
+  const Histogram& at(std::size_t slot) const {
+    return slots_[slot % slots_.size()];
+  }
+  std::size_t slots() const { return slots_.size(); }
+  /// Exact cross-shard merge (all slots share one layout).
+  analytics::LogHistogram fold_all() const;
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return options_.help; }
+  bool deterministic() const { return options_.deterministic; }
+
+ private:
+  friend class Registry;
+  HistogramFamily(std::string name, HistogramOptions options,
+                  std::size_t slots);
+
+  std::string name_;
+  HistogramOptions options_;
+  std::deque<Histogram> slots_;
+};
+
+struct SnapshotOptions {
+  bool deterministic_only = false;
+};
+
+/// Quantiles every histogram exports; fixed so snapshots are comparable.
+inline constexpr double kExportQuantiles[] = {0.5, 0.9, 0.99};
+
+struct CounterSnapshot {
+  std::string name;
+  std::string help;
+  bool deterministic = true;
+  std::vector<std::uint64_t> per_slot;
+  std::uint64_t total = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string help;
+  bool deterministic = true;
+  std::vector<std::int64_t> per_slot;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  bool deterministic = false;
+  std::vector<std::uint64_t> per_slot_counts;
+  analytics::LogHistogram folded;  ///< exact merge across slots
+};
+
+/// Point-in-time view of every family, each section sorted by name so the
+/// rendered exports are byte-stable regardless of registration order.
+struct TelemetrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  /// `default_slots` is the per-family slot count when FamilyOptions does
+  /// not override it — the runtime passes its shard count.
+  explicit Registry(std::size_t default_slots = 1);
+
+  /// Get-or-create by name. A second call with the same name returns the
+  /// existing family (options of the first call win). Reusing a name
+  /// across metric kinds is a programming error (asserted in debug).
+  CounterFamily& counter(const std::string& name, FamilyOptions options = {});
+  GaugeFamily& gauge(const std::string& name, FamilyOptions options = {});
+  HistogramFamily& histogram(const std::string& name,
+                             HistogramOptions options = {});
+
+  std::size_t default_slots() const { return default_slots_; }
+  std::size_t family_count() const;
+
+  TelemetrySnapshot snapshot(const SnapshotOptions& options = {}) const;
+
+ private:
+  std::size_t resolve_slots(std::size_t requested) const {
+    return requested == 0 ? default_slots_ : requested;
+  }
+
+  mutable std::mutex mutex_;  ///< guards family creation, not slot writes
+  std::size_t default_slots_;
+  std::deque<CounterFamily> counters_;
+  std::deque<GaugeFamily> gauges_;
+  std::deque<HistogramFamily> histograms_;
+  std::map<std::string, CounterFamily*> counter_index_;
+  std::map<std::string, GaugeFamily*> gauge_index_;
+  std::map<std::string, HistogramFamily*> histogram_index_;
+};
+
+}  // namespace dart::telemetry

@@ -1,0 +1,351 @@
+// dart-top: render live per-shard state of the sharded replay runtime from
+// an exported telemetry snapshot (the Prometheus text files the runtime's
+// exporter writes via telemetry::write_atomic).
+//
+//   dart-top render <file> [--check]          one-shot table
+//   dart-top watch <file> [--interval-ms N]   re-render as the file changes
+//                         [--iterations N]
+//   dart-top demo [--shards N] [--seed S]     run a seeded campus workload
+//                 [--out FILE] [--json FILE]  through the instrumented
+//                 [--deterministic] [--check] runtime, export, and render
+//
+// --check verifies the accounting identity
+//     processed + shed + abandoned + lost_to_crash == routed
+// per shard and in aggregate; a violation exits nonzero, which is what the
+// ctest entries assert. `demo` requires a DART_TELEMETRY build; `render`
+// and `watch` work on any snapshot file regardless of build flavor.
+// Exit codes: 0 ok, 1 identity violation / unreadable file, 2 usage error.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
+
+#if defined(DART_TELEMETRY)
+#include "gen/workload.hpp"
+#include "runtime/sharded_monitor.hpp"
+#include "telemetry/runtime_metrics.hpp"
+#endif
+
+namespace {
+
+using dart::telemetry::PromSample;
+
+void print_usage(std::ostream& out) {
+  out << "usage: dart-top <command> [options]\n"
+         "\n"
+         "  render <file> [--check]       render one snapshot and exit\n"
+         "  watch <file>                  re-render periodically\n"
+         "    --interval-ms N             poll interval (default 1000)\n"
+         "    --iterations N              stop after N renders (0 = forever)\n"
+         "  demo                          run an instrumented demo workload\n"
+         "    --shards N                  worker shards (default 4)\n"
+         "    --seed S                    workload seed (default 1)\n"
+         "    --out FILE                  also write the Prometheus snapshot\n"
+         "    --json FILE                 also write the JSON snapshot\n"
+         "    --deterministic             export the deterministic tier only\n"
+         "    --check                     verify the accounting identity\n";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+double labeled_value(const std::vector<PromSample>& samples,
+                     const std::string& name, const std::string& shard) {
+  for (const PromSample& sample : samples) {
+    if (sample.name == name && sample.labels.count("shard") != 0 &&
+        sample.labels.at("shard") == shard) {
+      return sample.value;
+    }
+  }
+  return 0.0;
+}
+
+double quantile_value(const std::vector<PromSample>& samples,
+                      const std::string& name, const std::string& quantile) {
+  for (const PromSample& sample : samples) {
+    if (sample.name == name && sample.labels.count("quantile") != 0 &&
+        sample.labels.at("quantile") == quantile) {
+      return sample.value;
+    }
+  }
+  return 0.0;
+}
+
+std::set<std::string> shard_labels(const std::vector<PromSample>& samples) {
+  // Sorted numerically so shard 10 renders after shard 9.
+  std::set<std::string> raw;
+  for (const PromSample& sample : samples) {
+    const auto it = sample.labels.find("shard");
+    if (it != sample.labels.end()) raw.insert(it->second);
+  }
+  return raw;
+}
+
+/// processed + shed + abandoned + lost_to_crash == routed, per shard and
+/// merged. Returns true when the snapshot satisfies it everywhere.
+bool check_identity(const std::vector<PromSample>& samples,
+                    std::ostream& err) {
+  bool ok = true;
+  const double routed = prom_value(samples, "dart_routed_total");
+  const double sum = prom_value(samples, "dart_processed_total") +
+                     prom_value(samples, "dart_shed_total") +
+                     prom_value(samples, "dart_abandoned_total") +
+                     prom_value(samples, "dart_lost_to_crash_total");
+  if (sum != routed) {
+    err << "identity violated (aggregate): processed+shed+abandoned+lost = "
+        << sum << " != routed = " << routed << "\n";
+    ok = false;
+  }
+  for (const std::string& shard : shard_labels(samples)) {
+    const double s_routed = labeled_value(samples, "dart_routed_total", shard);
+    const double s_sum =
+        labeled_value(samples, "dart_processed_total", shard) +
+        labeled_value(samples, "dart_shed_total", shard) +
+        labeled_value(samples, "dart_abandoned_total", shard) +
+        labeled_value(samples, "dart_lost_to_crash_total", shard);
+    if (s_sum != s_routed) {
+      err << "identity violated (shard " << shard << "): " << s_sum
+          << " != " << s_routed << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void render(const std::vector<PromSample>& samples, std::ostream& out) {
+  out << "dart-top — sharded runtime snapshot\n";
+  const std::set<std::string> labels = shard_labels(samples);
+  std::vector<std::string> shards(labels.begin(), labels.end());
+  // Numeric order for display.
+  std::sort(shards.begin(), shards.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+
+  std::printf("%-6s %12s %12s %10s %10s %10s %10s %8s\n", "shard", "routed",
+              "processed", "shed", "abandoned", "lost", "batches", "ring");
+  for (const std::string& shard : shards) {
+    std::printf("%-6s %12.0f %12.0f %10.0f %10.0f %10.0f %10.0f %8.0f\n",
+                shard.c_str(),
+                labeled_value(samples, "dart_routed_total", shard),
+                labeled_value(samples, "dart_processed_total", shard),
+                labeled_value(samples, "dart_shed_total", shard),
+                labeled_value(samples, "dart_abandoned_total", shard),
+                labeled_value(samples, "dart_lost_to_crash_total", shard),
+                labeled_value(samples, "dart_worker_batches_total", shard),
+                labeled_value(samples, "dart_ring_occupancy", shard));
+  }
+  std::printf("%-6s %12.0f %12.0f %10.0f %10.0f %10.0f %10.0f %8s\n", "all",
+              prom_value(samples, "dart_routed_total"),
+              prom_value(samples, "dart_processed_total"),
+              prom_value(samples, "dart_shed_total"),
+              prom_value(samples, "dart_abandoned_total"),
+              prom_value(samples, "dart_lost_to_crash_total"),
+              prom_value(samples, "dart_worker_batches_total"), "-");
+
+  const double batch_count =
+      prom_value(samples, "dart_batch_latency_ns_count");
+  if (batch_count > 0) {
+    out << "batch latency (ns): p50="
+        << quantile_value(samples, "dart_batch_latency_ns", "0.5")
+        << " p90=" << quantile_value(samples, "dart_batch_latency_ns", "0.9")
+        << " p99=" << quantile_value(samples, "dart_batch_latency_ns", "0.99")
+        << " over " << batch_count << " batches\n";
+  }
+  const double commits =
+      prom_value(samples, "dart_checkpoint_commits_total");
+  if (commits > 0) {
+    out << "checkpoints: " << commits << " committed, "
+        << prom_value(samples, "dart_checkpoint_rejected_total")
+        << " rejected, commit p99(ns)="
+        << quantile_value(samples, "dart_commit_latency_ns", "0.99") << "\n";
+  }
+  const double samples_total = prom_value(samples, "dart_samples_total");
+  out << "rtt samples: " << samples_total << "  recirculations: "
+      << prom_value(samples, "dart_recirculations_total")
+      << "  sheds(gov): "
+      << prom_value(samples, "dart_governor_sheds_total")
+      << "  backoffs: "
+      << prom_value(samples, "dart_governor_backoffs_total") << "\n";
+}
+
+int render_file(const std::string& path, bool check) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "dart-top: cannot read " << path << "\n";
+    return 1;
+  }
+  const std::vector<PromSample> samples =
+      dart::telemetry::parse_prometheus(text);
+  render(samples, std::cout);
+  if (check && !check_identity(samples, std::cerr)) return 1;
+  return 0;
+}
+
+int run_watch(const std::string& path, std::uint64_t interval_ms,
+              std::uint64_t iterations) {
+  std::uint64_t rendered = 0;
+  std::string last;
+  for (;;) {
+    std::string text;
+    if (read_file(path, text) && text != last) {
+      last = std::move(text);
+      std::cout << "\033[2J\033[H";  // clear + home; harmless when piped
+      render(dart::telemetry::parse_prometheus(last), std::cout);
+      std::cout.flush();
+      ++rendered;
+      if (iterations != 0 && rendered >= iterations) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+#if defined(DART_TELEMETRY)
+int run_demo(std::uint32_t shards, std::uint64_t seed,
+             const std::string& out_path, const std::string& json_path,
+             bool deterministic, bool check) {
+  dart::gen::CampusConfig workload;
+  workload.seed = seed;
+  workload.connections = 1500;
+  workload.duration = dart::sec(6);
+  const dart::trace::Trace trace = dart::gen::build_campus(workload);
+
+  dart::telemetry::Registry registry(shards);
+  dart::telemetry::RuntimeMetrics metrics(registry);
+
+  dart::runtime::ShardedConfig config;
+  config.shards = shards;
+  config.telemetry = &metrics;
+  dart::core::DartConfig dart_config;
+  dart_config.leg = dart::core::LegMode::kBoth;
+  dart::runtime::ShardedMonitor monitor(config, dart_config);
+  monitor.process_all(trace.packets());
+  monitor.finish();
+
+  dart::telemetry::SnapshotOptions options;
+  options.deterministic_only = deterministic;
+  const dart::telemetry::TelemetrySnapshot snap = registry.snapshot(options);
+  const std::string prom = dart::telemetry::to_prometheus(snap);
+  if (!out_path.empty() &&
+      !dart::telemetry::write_atomic(out_path, prom)) {
+    std::cerr << "dart-top: cannot write " << out_path << "\n";
+    return 1;
+  }
+  if (!json_path.empty() &&
+      !dart::telemetry::write_atomic(json_path,
+                                     dart::telemetry::to_json(snap))) {
+    std::cerr << "dart-top: cannot write " << json_path << "\n";
+    return 1;
+  }
+  const std::vector<PromSample> samples =
+      dart::telemetry::parse_prometheus(prom);
+  render(samples, std::cout);
+  if (check && !check_identity(samples, std::cerr)) return 1;
+  return 0;
+}
+#endif
+
+std::uint64_t parse_u64(const char* text) {
+  return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string command = argv[1];
+
+  if (command == "render") {
+    if (argc < 3) {
+      print_usage(std::cerr);
+      return 2;
+    }
+    bool check = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--check") check = true;
+    }
+    return render_file(argv[2], check);
+  }
+
+  if (command == "watch") {
+    if (argc < 3) {
+      print_usage(std::cerr);
+      return 2;
+    }
+    std::uint64_t interval_ms = 1000;
+    std::uint64_t iterations = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--interval-ms" && i + 1 < argc) {
+        interval_ms = parse_u64(argv[++i]);
+      } else if (arg == "--iterations" && i + 1 < argc) {
+        iterations = parse_u64(argv[++i]);
+      } else {
+        print_usage(std::cerr);
+        return 2;
+      }
+    }
+    return run_watch(argv[2], interval_ms == 0 ? 1 : interval_ms,
+                     iterations);
+  }
+
+  if (command == "demo") {
+#if defined(DART_TELEMETRY)
+    std::uint32_t shards = 4;
+    std::uint64_t seed = 1;
+    std::string out_path;
+    std::string json_path;
+    bool deterministic = false;
+    bool check = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--shards" && i + 1 < argc) {
+        shards = static_cast<std::uint32_t>(parse_u64(argv[++i]));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = parse_u64(argv[++i]);
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--json" && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (arg == "--deterministic") {
+        deterministic = true;
+      } else if (arg == "--check") {
+        check = true;
+      } else {
+        print_usage(std::cerr);
+        return 2;
+      }
+    }
+    return run_demo(shards == 0 ? 1 : shards, seed, out_path, json_path,
+                    deterministic, check);
+#else
+    std::cerr << "dart-top: demo requires a DART_TELEMETRY=ON build\n";
+    return 2;
+#endif
+  }
+
+  print_usage(std::cerr);
+  return 2;
+}

@@ -103,5 +103,45 @@ TEST(ChangeDetector, WindowHistoryIsComplete) {
   EXPECT_EQ(detector.window_history().size(), 5U);
 }
 
+TEST(ChangeDetector, FinishRecordsTrailingPartialWindow) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 2, msec(25), 0);
+  // A 3-sample tail that add() alone never surfaces.
+  detector.add(msec(21), sec(50));
+  detector.add(msec(23), sec(51));
+  detector.add(msec(22), sec(52));
+  EXPECT_EQ(detector.window_history().size(), 2U);
+
+  detector.finish();
+  ASSERT_EQ(detector.window_history().size(), 3U);
+  const WindowMin& tail = detector.window_history().back();
+  EXPECT_TRUE(tail.partial);
+  EXPECT_EQ(tail.samples_in_window, 3U);
+  EXPECT_EQ(tail.min_rtt, msec(21));
+  EXPECT_EQ(tail.window_end_ts, sec(52));
+  EXPECT_EQ(tail.samples_seen, 19U);
+
+  detector.finish();  // idempotent: no second tail
+  EXPECT_EQ(detector.window_history().size(), 3U);
+}
+
+TEST(ChangeDetector, PartialTailNeverDrivesStateTransition) {
+  ChangeDetector detector(paper_config());
+  feed_windows(detector, 4, msec(25), 0);
+  // A single wildly elevated trailing sample: noisy 1-sample min.
+  detector.add(msec(500), sec(100));
+  detector.finish();
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+  EXPECT_TRUE(detector.events().empty());
+  EXPECT_TRUE(detector.window_history().back().partial);
+}
+
+TEST(ChangeDetector, FinishOnEmptyDetectorIsNoop) {
+  ChangeDetector detector(paper_config());
+  detector.finish();
+  EXPECT_TRUE(detector.window_history().empty());
+  EXPECT_EQ(detector.state(), DetectionState::kNormal);
+}
+
 }  // namespace
 }  // namespace dart::analytics

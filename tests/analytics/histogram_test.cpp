@@ -56,6 +56,105 @@ TEST(LogHistogram, MergeCombinesMass) {
   EXPECT_NEAR(a.cdf_at(msec(20)), 0.5, 0.02);
 }
 
+// Regression: the old merge() summed bins only up to min(size, other.size)
+// but still added the *full* other.total_, so mass in the dropped tail bins
+// vanished while the quantile/cdf denominators grew — every downstream
+// quantile was silently biased low. Merging into the smaller histogram must
+// give exactly what adding all raw values into it directly gives.
+TEST(LogHistogram, MergeDifferentSizesMatchesCombined) {
+  LogHistogram small(usec(10), sec(1), 20);    // fewer bins
+  LogHistogram large(usec(10), sec(120), 20);  // same geometry, longer tail
+  ASSERT_LT(small.bins().size(), large.bins().size());
+
+  LogHistogram combined(usec(10), sec(1), 20);  // the single-histogram truth
+  for (int i = 0; i < 100; ++i) {
+    small.add(usec(100));
+    combined.add(usec(100));
+  }
+  for (int i = 0; i < 50; ++i) {
+    large.add(msec(1));
+    combined.add(msec(1));
+  }
+  for (int i = 0; i < 50; ++i) {
+    large.add(sec(60));  // beyond small's range: lived in the dropped tail
+    combined.add(sec(60));
+  }
+
+  small.merge(large);
+  EXPECT_EQ(small.count(), combined.count());
+  EXPECT_EQ(small.bins(), combined.bins());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(small.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(small.cdf_at(msec(100)), combined.cdf_at(msec(100)));
+  EXPECT_DOUBLE_EQ(small.cdf_at(msec(100)), 150.0 / 200.0);
+  EXPECT_EQ(small.min(), usec(100));
+  EXPECT_EQ(small.max(), sec(60));
+}
+
+TEST(LogHistogram, MergeDifferentResolutionPreservesMass) {
+  LogHistogram coarse(usec(10), sec(120), 5);
+  LogHistogram fine(usec(100), sec(10), 40);  // different log_min and step
+  for (int i = 0; i < 300; ++i) fine.add(msec(7));
+  for (int i = 0; i < 100; ++i) fine.add(msec(200));
+  coarse.add(msec(1));
+
+  coarse.merge(fine);
+  // Remapping may shift mass by up to a bin width, but never loses or
+  // invents samples: counts and CDF denominators stay exact.
+  EXPECT_EQ(coarse.count(), 401U);
+  std::uint64_t bin_sum = 0;
+  for (const std::uint64_t c : coarse.bins()) bin_sum += c;
+  EXPECT_EQ(bin_sum, coarse.count());
+  EXPECT_DOUBLE_EQ(coarse.cdf_at(sec(100)), 1.0);
+  // 7 ms holds 300 of 401 samples; the median must land within one coarse
+  // bin (10^(1/5) ~ 1.58x) of it.
+  EXPECT_GT(coarse.quantile(0.5) / 1e6, 7.0 / 1.6);
+  EXPECT_LT(coarse.quantile(0.5) / 1e6, 7.0 * 1.6);
+}
+
+TEST(LogHistogram, MergeIntoEmptyAdoptsMass) {
+  LogHistogram empty(usec(10), sec(1), 20);
+  LogHistogram full(usec(10), sec(120), 20);
+  for (int i = 0; i < 10; ++i) full.add(msec(3));
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 10U);
+  EXPECT_EQ(empty.min(), msec(3));
+  EXPECT_EQ(empty.max(), msec(3));
+}
+
+// Regression: quantile(0) used to answer bin_value(0) even when bin 0 was
+// empty (cumulative 0 >= target 0) — a value no sample ever took.
+TEST(LogHistogram, QuantileZeroAnswersFirstOccupiedBin) {
+  LogHistogram hist(usec(10), sec(120), 20);
+  for (int i = 0; i < 100; ++i) hist.add(msec(50));  // bin 0 stays empty
+  ASSERT_EQ(hist.bins()[0], 0U);
+  const double q0 = hist.quantile(0.0);
+  EXPECT_NEAR(q0 / 1e6, 50.0, 6.0);  // within one bin width of 50 ms
+  EXPECT_DOUBLE_EQ(q0, hist.quantile(1.0));  // all mass in one bin
+}
+
+TEST(LogHistogram, QuantileBoundariesOnSingleSample) {
+  LogHistogram hist;
+  hist.add(msec(25));
+  const double expected = hist.quantile(0.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), expected);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), expected);
+  EXPECT_NEAR(expected / 1e6, 25.0, 4.0);
+}
+
+TEST(LogHistogram, FromLayoutRoundTrips) {
+  LogHistogram hist(usec(10), sec(120), 20);
+  for (int i = 1; i <= 500; ++i) hist.add(msec(i % 90 + 1));
+  LogHistogram rebuilt = LogHistogram::from_layout(
+      hist.log_min(), hist.log_step(), hist.bins(), hist.min(), hist.max());
+  EXPECT_EQ(rebuilt.count(), hist.count());
+  EXPECT_EQ(rebuilt.bins(), hist.bins());
+  EXPECT_DOUBLE_EQ(rebuilt.quantile(0.5), hist.quantile(0.5));
+  EXPECT_DOUBLE_EQ(rebuilt.cdf_at(msec(45)), hist.cdf_at(msec(45)));
+  EXPECT_TRUE(rebuilt.same_layout(hist));
+}
+
 TEST(LogHistogram, EmptyHistogramIsWellBehaved) {
   LogHistogram hist;
   EXPECT_EQ(hist.count(), 0U);

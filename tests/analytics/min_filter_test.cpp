@@ -42,6 +42,64 @@ TEST(MinFilter, CurrentMinTracksPartialWindow) {
   EXPECT_EQ(*filter.current_min(), msec(30));
 }
 
+TEST(MinFilter, FlushEmitsTrailingPartialWindow) {
+  MinFilter filter(4);
+  // 6 samples: one full window, then a 2-sample tail that add() alone
+  // would silently discard.
+  filter.add(msec(30), sec(1));
+  filter.add(msec(10), sec(2));
+  filter.add(msec(20), sec(3));
+  ASSERT_TRUE(filter.add(msec(40), sec(4)).has_value());
+  filter.add(msec(15), sec(5));
+  filter.add(msec(25), sec(6));
+
+  const auto tail = filter.flush();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_TRUE(tail->partial);
+  EXPECT_EQ(tail->samples_in_window, 2U);
+  EXPECT_EQ(tail->min_rtt, msec(15));
+  EXPECT_EQ(tail->window_index, 1U);
+  EXPECT_EQ(tail->window_end_ts, sec(6));
+  EXPECT_EQ(tail->samples_seen, 6U);
+}
+
+TEST(MinFilter, FullWindowsAreNotPartial) {
+  MinFilter filter(2);
+  filter.add(msec(5), 1);
+  const auto full = filter.add(msec(7), 2);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_FALSE(full->partial);
+  EXPECT_EQ(full->samples_in_window, 2U);
+}
+
+TEST(MinFilter, FlushOnEmptyAndWindowBoundaryIsNoop) {
+  MinFilter filter(3);
+  EXPECT_FALSE(filter.flush().has_value()) << "nothing seen yet";
+  filter.add(msec(9), 1);
+  filter.add(msec(8), 2);
+  ASSERT_TRUE(filter.add(msec(7), 3).has_value());
+  // add() just closed the window; there is no pending tail to flush.
+  EXPECT_FALSE(filter.flush().has_value());
+}
+
+TEST(MinFilter, FlushIsIdempotentAndResetsWindow) {
+  MinFilter filter(4);
+  filter.add(msec(12), sec(1));
+  const auto first = filter.flush();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->samples_in_window, 1U);
+  EXPECT_FALSE(filter.flush().has_value()) << "tail already emitted";
+  EXPECT_FALSE(filter.current_min().has_value());
+
+  // Samples after a flush start a fresh window with a fresh min.
+  filter.add(msec(99), sec(2));
+  const auto second = filter.flush();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->min_rtt, msec(99)) << "flushed min must not leak";
+  EXPECT_EQ(second->window_index, first->window_index + 1);
+  EXPECT_EQ(second->samples_seen, 2U);
+}
+
 TEST(MinFilterUsefulness, VetoesRecordsOlderThanCurrentMin) {
   MinFilterUsefulness filter(8);
   core::RttSample sample;

@@ -59,5 +59,23 @@ TEST(PercentileSet, ClampsOutOfRangeP) {
   EXPECT_DOUBLE_EQ(set.percentile(200), 15.0);
 }
 
+// Regression: the empty-set guards were assert()-only, which compiles out
+// under NDEBUG and left percentile()/min()/max() reading values_[0] of an
+// empty vector in release builds. They now return documented values.
+TEST(PercentileSet, EmptySetReturnsDefinedValues) {
+  const PercentileSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0U);
+  EXPECT_DOUBLE_EQ(set.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(set.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100), 0.0);
+  EXPECT_EQ(set.min(), 0U);
+  EXPECT_EQ(set.max(), 0U);
+  EXPECT_DOUBLE_EQ(set.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(set.cdf_at(msec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(set.ccdf_at(msec(1)), 1.0);
+  EXPECT_TRUE(set.sorted_values().empty());
+}
+
 }  // namespace
 }  // namespace dart::analytics

@@ -67,6 +67,26 @@ TEST(PrefixChangeDetector, SparsePrefixesStaySilent) {
   EXPECT_TRUE(detector.confirmed().empty());
 }
 
+TEST(PrefixChangeDetector, FinishSurfacesSparsePrefixTails) {
+  PrefixChangeDetector detector(24);
+  for (int i = 0; i < 5; ++i) {
+    detector.add(sample(kHealthy, msec(20 + i), sec(i)));
+  }
+  const auto& before =
+      detector.detectors().at(Ipv4Prefix::of(kHealthy, 24));
+  EXPECT_TRUE(before.window_history().empty());
+
+  detector.finish();
+  const auto& after =
+      detector.detectors().at(Ipv4Prefix::of(kHealthy, 24));
+  ASSERT_EQ(after.window_history().size(), 1U);
+  EXPECT_TRUE(after.window_history()[0].partial);
+  EXPECT_EQ(after.window_history()[0].samples_in_window, 5U);
+  EXPECT_EQ(after.window_history()[0].min_rtt, msec(20));
+  // A partial tail is reported, never acted on.
+  EXPECT_TRUE(detector.confirmed().empty());
+}
+
 TEST(PrefixChangeDetector, PrefixLengthControlsGranularity) {
   PrefixChangeDetector detector(16);
   detector.add(sample(Ipv4Addr{104, 16, 1, 1}, msec(20), 0));
