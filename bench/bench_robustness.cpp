@@ -22,7 +22,10 @@
 //     sample coverage.
 #include <chrono>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "runtime/shard_supervisor.hpp"
@@ -206,10 +209,13 @@ runtime::SupervisorConfig recovery_base_config() {
 
 /// Checkpoint-overhead sweep: the same replay at tighter and tighter
 /// barrier cadences. The costs of a cut are serializing the full monitor
-/// state at each barrier and the in-band quiesce itself.
-void checkpoint_overhead_sweep() {
+/// state at each barrier and the in-band quiesce itself. Each cadence is
+/// measured through the shared bench::measure_row harness so the sweep
+/// lands in the persisted trajectory alongside bench_throughput's rows.
+void checkpoint_overhead_sweep(std::vector<bench::BenchRow>* rows) {
   std::printf("\n-- checkpoint overhead: barrier cadence vs throughput --\n");
   const trace::Trace trace = recovery_trace();
+  const std::uint64_t packets = trace.packets().size();
 
   TextTable table({"cadence (pkts/shard)", "checkpoints cut", "image bytes",
                    "replay time", "vs no checkpoints"});
@@ -220,25 +226,31 @@ void checkpoint_overhead_sweep() {
     runtime::SupervisorConfig config = recovery_base_config();
     config.checkpoint.interval_packets = interval;
 
-    const auto start = std::chrono::steady_clock::now();
-    runtime::ShardSupervisor supervisor(config, monitor_config_hw());
-    supervisor.process_all(trace.packets());
-    supervisor.finish();
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
+    std::unique_ptr<runtime::ShardSupervisor> supervisor;
+    const bench::BenchRow row = bench::measure_row(
+        "ckpt_cadence_" +
+            (interval == 0 ? std::string("off") : std::to_string(interval)),
+        "supervised", config.shards, packets, /*warmup=*/0, /*reps=*/1, [&] {
+          supervisor = std::make_unique<runtime::ShardSupervisor>(
+              config, monitor_config_hw());
+          supervisor->process_all(trace.packets());
+          supervisor->finish();
+        });
+    const double ms =
+        row.mpps > 0 ? static_cast<double>(packets) / (row.mpps * 1e3) : 0;
     if (interval == 0) base_ms = ms;
+    rows->push_back(row);
 
     core::CheckpointImage image;
     core::SnapshotMeta meta;
-    const bool has_image = supervisor.coordinator().latest(0, &image, &meta);
+    const bool has_image = supervisor->coordinator().latest(0, &image, &meta);
     char time_buf[32];
     std::snprintf(time_buf, sizeof(time_buf), "%.1f ms", ms);
     char rel_buf[32];
     std::snprintf(rel_buf, sizeof(rel_buf), "%.2fx",
                   base_ms > 0 ? ms / base_ms : 1.0);
     table.add_row({interval == 0 ? "off" : format_count(interval),
-                   format_count(supervisor.checkpoints_cut()),
+                   format_count(supervisor->checkpoints_cut()),
                    has_image ? format_count(image.bytes.size()) : "-",
                    time_buf, rel_buf});
   }
@@ -301,7 +313,13 @@ void recovery_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
   bench::print_header("Adversarial robustness", "Sections 3.1 and 7");
 
   // Baseline: victims alone.
@@ -364,7 +382,8 @@ int main() {
       "samples.\n");
 
   overload_sweep();
-  checkpoint_overhead_sweep();
+  std::vector<bench::BenchRow> rows;
+  checkpoint_overhead_sweep(&rows);
 #if defined(DART_FAULT_INJECTION)
   recovery_sweep();
 #else
@@ -372,5 +391,12 @@ int main() {
       "\n(crash-recovery sweep skipped: rebuild with "
       "-DDART_FAULT_INJECTION=ON to kill workers mid-replay.)\n");
 #endif
+  if (!json_path.empty()) {
+    if (!bench::write_rows_json(json_path, "bench_robustness", rows)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("rows written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -6,8 +6,12 @@
 // records the paper-vs-measured comparison these binaries regenerate.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analytics/metrics.hpp"
 #include "analytics/percentile.hpp"
@@ -71,5 +75,113 @@ inline void print_trace_summary(const trace::Trace& trace) {
 }
 
 inline std::string ms(double ns) { return format_double(ns / 1e6, 2); }
+
+// ---------------------------------------------------------------------------
+// Benchmark-trajectory rows.
+//
+// Uniform warmup/reps measurement and JSON emission shared by
+// bench_throughput and bench_robustness: each measured configuration becomes
+// one Mpps row, and scripts/bench_persist.py folds the emitted dart-bench-v1
+// documents into the repo-root trajectory file (BENCH_pr6.json) so the
+// scalar-vs-batched history survives across PRs.
+
+struct BenchRow {
+  std::string name;           ///< unique row id, e.g. "dart_batched_1shard"
+  std::string mode;           ///< "scalar" | "batched" | "supervised" | ...
+  std::uint32_t shards = 1;
+  std::uint64_t packets = 0;  ///< packets replayed per repetition
+  std::uint32_t reps = 0;
+  double mpps = 0.0;          ///< best repetition
+};
+
+/// Wall-clock nanoseconds of one invocation of `fn` — the hot-section
+/// timer rows pair with measure_row_timed so setup (table construction
+/// zero-fills hundreds of MB, ~constant per rep) stays outside the
+/// measured window instead of compressing every mode toward the same
+/// number.
+template <typename Fn>
+inline double timed_section_ns(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs `fn` `warmup` times untimed, then `reps` times, and reports the
+/// best repetition as Mpps over `packets`. `fn` returns the nanoseconds of
+/// the repetition's hot section (wrap it in timed_section_ns), so per-rep
+/// setup it performs before starting the clock is excluded. Best-of (not
+/// mean) because the quantity of interest is the code's speed, not the
+/// host's noise.
+template <typename Fn>
+inline BenchRow measure_row_timed(std::string name, std::string mode,
+                                  std::uint32_t shards, std::uint64_t packets,
+                                  std::uint32_t warmup, std::uint32_t reps,
+                                  Fn&& fn) {
+  for (std::uint32_t i = 0; i < warmup; ++i) (void)fn();
+  double best_ns = 0.0;
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    const double ns = fn();
+    if (i == 0 || ns < best_ns) best_ns = ns;
+  }
+  BenchRow row;
+  row.name = std::move(name);
+  row.mode = std::move(mode);
+  row.shards = shards;
+  row.packets = packets;
+  row.reps = reps;
+  row.mpps =
+      best_ns > 0 ? static_cast<double>(packets) / best_ns * 1e3 : 0.0;
+  return row;
+}
+
+/// measure_row_timed for repetitions with no setup to exclude: times each
+/// `fn()` call wholesale.
+template <typename Fn>
+inline BenchRow measure_row(std::string name, std::string mode,
+                            std::uint32_t shards, std::uint64_t packets,
+                            std::uint32_t warmup, std::uint32_t reps,
+                            Fn&& fn) {
+  return measure_row_timed(std::move(name), std::move(mode), shards, packets,
+                           warmup, reps,
+                           [&fn] { return timed_section_ns(fn); });
+}
+
+inline void print_rows(const std::vector<BenchRow>& rows) {
+  TextTable table({"row", "mode", "shards", "packets", "reps", "Mpps"});
+  for (const BenchRow& row : rows) {
+    table.add_row({row.name, row.mode, format_count(row.shards),
+                   format_count(row.packets), format_count(row.reps),
+                   format_double(row.mpps, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+/// Writes rows as a dart-bench-v1 JSON document for
+/// scripts/bench_persist.py. Row names/modes are code-controlled
+/// identifiers, so no string escaping is needed. Returns false if the file
+/// could not be opened.
+inline bool write_rows_json(const std::string& path, const std::string& bench,
+                            const std::vector<BenchRow>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) return false;
+  std::fprintf(file,
+               "{\n  \"schema\": \"dart-bench-v1\",\n  \"bench\": \"%s\",\n"
+               "  \"rows\": [\n",
+               bench.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"shards\": %u, "
+                 "\"packets\": %llu, \"reps\": %u, \"mpps\": %.4f}%s\n",
+                 row.name.c_str(), row.mode.c_str(), row.shards,
+                 static_cast<unsigned long long>(row.packets), row.reps,
+                 row.mpps, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  return true;
+}
 
 }  // namespace dart::bench

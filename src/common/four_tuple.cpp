@@ -23,9 +23,7 @@ std::uint64_t hash_tuple(const FourTuple& tuple) noexcept {
 }
 
 std::uint32_t flow_signature(const FourTuple& tuple) noexcept {
-  // Fold the 64-bit mix down to the 4-byte signature the hardware stores.
-  std::uint64_t h = hash_tuple(tuple);
-  return static_cast<std::uint32_t>(h ^ (h >> 32));
+  return fold_signature(hash_tuple(tuple));
 }
 
 }  // namespace dart

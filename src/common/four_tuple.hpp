@@ -47,6 +47,14 @@ constexpr bool operator<(const FourTuple& lhs, const FourTuple& rhs) {
 /// base for the data plane's per-stage index hashes.
 std::uint64_t hash_tuple(const FourTuple& tuple) noexcept;
 
+/// Fold a hash_tuple() value down to the 4-byte signature the hardware
+/// stores: flow_signature(t) == fold_signature(hash_tuple(t)) by definition.
+/// Callers that already hold the 64-bit hash (the batched hot path, which
+/// computes it once per packet role) derive the signature without rehashing.
+constexpr std::uint32_t fold_signature(std::uint64_t tuple_hash) noexcept {
+  return static_cast<std::uint32_t>(tuple_hash ^ (tuple_hash >> 32));
+}
+
 /// The 4-byte flow signature stored in RT/PT records in place of the 12-byte
 /// tuple (paper Section 4). Collisions are possible by design.
 std::uint32_t flow_signature(const FourTuple& tuple) noexcept;

@@ -28,6 +28,7 @@
 #include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/flow_filter.hpp"
+#include "core/packet_batch.hpp"
 #include "core/packet_tracker.hpp"
 #include "core/range_tracker.hpp"
 #include "core/rtt_sample.hpp"
@@ -67,8 +68,22 @@ class DartMonitor {
   /// Process one packet in monitor-arrival order.
   void process(const PacketRecord& packet);
 
-  /// Convenience: process a whole time-ordered stream.
+  /// Convenience: process a whole time-ordered stream one packet at a time
+  /// — the scalar reference path the batch differential suite compares
+  /// process_batch() against.
   void process_all(std::span<const PacketRecord> packets);
+
+  /// Process a contiguous run of packets through the batched SoA fast
+  /// path: PacketBatch decodes each tile (roles, tuple hashes, expected
+  /// ACKs, timestamps) up front; precompute_lane() then derives each
+  /// lane's RT slot and PT stage rows a fixed distance ahead of the probe
+  /// loop — prefetching each row as it is computed — and the probes
+  /// consume the stored rows so no table hash is ever computed twice.
+  /// Observably identical to calling process() on
+  /// each packet in order — both paths dispatch through the same admission
+  /// gate and role handlers, and the differential suite holds them to
+  /// byte-identical snapshots.
+  void process_batch(std::span<const PacketRecord> packets);
 
   const DartStats& stats() const { return stats_; }
   const DartConfig& config() const { return config_; }
@@ -92,11 +107,29 @@ class DartMonitor {
   CheckpointError restore(const CheckpointImage& image);
 
  private:
-  void handle_seq(const FourTuple& tuple, const PacketRecord& packet,
-                  LegMode leg);
+  bool admit(const PacketRecord& packet);
+  // The batched path passes each lane's precomputed table rows through the
+  // trailing parameters; the scalar path leaves them defaulted and the
+  // trackers hash in place. Either way the probes land on identical slots.
+  void process_roles(const PacketRecord& packet, std::uint8_t roles,
+                     Timestamp now, std::uint64_t seq_hash,
+                     std::uint64_t ack_hash, SeqNum eack,
+                     std::uint64_t rt_seq_ref = RangeTracker::kNoRef,
+                     std::uint64_t rt_ack_ref = RangeTracker::kNoRef,
+                     const std::uint32_t* pt_seq_idx = nullptr,
+                     const std::uint32_t* pt_ack_idx = nullptr);
+  void precompute_lane(PacketBatch& batch, std::size_t lane) const;
+  void promote_lane(const PacketBatch& batch, std::size_t lane) const;
+  void handle_seq(const FourTuple& tuple, SeqNum seq, SeqNum eack,
+                  Timestamp now, LegMode leg, std::uint64_t tuple_hash,
+                  std::uint64_t rt_ref = RangeTracker::kNoRef,
+                  const std::uint32_t* pt_idx = nullptr);
   void handle_ack(const FourTuple& data_tuple, SeqNum ack, Timestamp now,
-                  bool pure_ack, LegMode leg);
-  void place(PacketTracker::Record record, Timestamp now);
+                  bool pure_ack, LegMode leg, std::uint64_t tuple_hash,
+                  std::uint64_t rt_ref = RangeTracker::kNoRef,
+                  const std::uint32_t* pt_idx = nullptr);
+  void place(PacketTracker::Record record, Timestamp now,
+             const std::uint32_t* pt_idx = nullptr);
   void buffer_for_shadow(const PacketRecord& packet);
   void sync_shadow();
 

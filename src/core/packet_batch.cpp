@@ -1,0 +1,17 @@
+#include "core/packet_batch.hpp"
+
+namespace dart::core {
+
+void PacketBatch::build(std::span<const PacketRecord> tile, LegMode leg,
+                        bool include_syn) {
+  const bool external =
+      leg == LegMode::kExternal || leg == LegMode::kBoth;
+  const bool internal =
+      leg == LegMode::kInternal || leg == LegMode::kBoth;
+  begin(tile);
+  for (std::size_t i = 0; i < size; ++i) {
+    decode_lane(i, external, internal, include_syn);
+  }
+}
+
+}  // namespace dart::core

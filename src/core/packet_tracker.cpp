@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hugepage.hpp"
 #include "core/checkpoint.hpp"
 
 namespace dart::core {
@@ -13,12 +14,20 @@ PacketTracker::PacketTracker(std::size_t total_slots, std::uint32_t stages,
   if (bounded_) {
     const std::uint32_t stage_count = std::max<std::uint32_t>(stages, 1);
     stage_size_ = std::max<std::size_t>(total_slots / stage_count, 1);
-    stages_.assign(stage_count, std::vector<Slot>(stage_size_));
+    stages_.resize(stage_count);
+    for (std::vector<Slot>& stage : stages_) {
+      // Reserve-advise-resize so a table sized past the TLB's reach is
+      // faulted in on huge pages from the start (see hugepage.hpp).
+      stage.reserve(stage_size_);
+      advise_hugepages(stage.data(), stage_size_ * sizeof(Slot));
+      stage.resize(stage_size_);
+    }
   }
 }
 
 PacketTracker::InsertResult PacketTracker::insert(const Record& record,
-                                                  std::uint64_t exclude_key) {
+                                                  std::uint64_t exclude_key,
+                                                  const std::uint32_t* idx) {
   if (!bounded_) {
     auto [it, inserted] = map_.insert_or_assign(record.key(), record);
     (void)it;
@@ -46,7 +55,7 @@ PacketTracker::InsertResult PacketTracker::insert(const Record& record,
            (policy_ == EvictionPolicy::kEvictOldest && !younger);
   };
   for (std::uint32_t s = 0; s < stages_.size(); ++s) {
-    Slot& slot = stages_[s][index(key, s)];
+    Slot& slot = stages_[s][idx != nullptr ? idx[s] : index(key, s)];
     if (!slot.valid) {
       slot.valid = true;
       slot.record = record;
@@ -78,7 +87,7 @@ PacketTracker::InsertResult PacketTracker::insert(const Record& record,
 }
 
 std::optional<PacketTracker::Record> PacketTracker::lookup_erase(
-    std::uint32_t flow_sig, SeqNum eack) {
+    std::uint32_t flow_sig, SeqNum eack, const std::uint32_t* idx) {
   const std::uint64_t key = (std::uint64_t{flow_sig} << 32) | eack;
 
   if (!bounded_) {
@@ -91,7 +100,7 @@ std::optional<PacketTracker::Record> PacketTracker::lookup_erase(
   }
 
   for (std::uint32_t s = 0; s < stages_.size(); ++s) {
-    Slot& slot = stages_[s][index(key, s)];
+    Slot& slot = stages_[s][idx != nullptr ? idx[s] : index(key, s)];
     if (slot.valid && slot.record.key() == key) {
       slot.valid = false;
       --occupied_;

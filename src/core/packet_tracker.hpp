@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/hashing.hpp"
+#include "common/prefetch.hpp"
 #include "common/seqnum.hpp"
 #include "common/time.hpp"
 #include "core/config.hpp"
@@ -68,10 +69,72 @@ class PacketTracker {
   /// relocation chain explores alternative slots instead of ping-ponging
   /// (it is still chosen as a last resort, which the caller's cycle
   /// detection then resolves in the older record's favour).
-  InsertResult insert(const Record& record, std::uint64_t exclude_key = 0);
+  ///
+  /// `idx`, when non-null, is the per-stage candidate-slot array a prior
+  /// precompute() produced for record.key(); the probe then reuses it
+  /// instead of re-hashing. It is only valid for the record's own key —
+  /// eviction-chain re-insertions must pass nullptr.
+  InsertResult insert(const Record& record, std::uint64_t exclude_key = 0,
+                      const std::uint32_t* idx = nullptr);
 
   /// Find and remove the record for (flow_sig, eack); nullopt on miss.
-  std::optional<Record> lookup_erase(std::uint32_t flow_sig, SeqNum eack);
+  /// `idx` as for insert(): precomputed candidate slots for this same key.
+  std::optional<Record> lookup_erase(std::uint32_t flow_sig, SeqNum eack,
+                                     const std::uint32_t* idx = nullptr);
+
+  /// Pull every stage's candidate slot for (flow_sig, eack) into cache
+  /// ahead of the insert/lookup probes — the batched hot path issues this a
+  /// fixed distance before the packet is processed. No-op in unbounded
+  /// mode (map nodes have no precomputable address).
+  void prefetch(std::uint32_t flow_sig, SeqNum eack) const {
+    if (!bounded_) return;
+    const std::uint64_t key = (std::uint64_t{flow_sig} << 32) | eack;
+    for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+      prefetch_for_write(
+          &stages_[stage][index(key, static_cast<std::uint32_t>(stage))]);
+    }
+  }
+
+  /// Batched hash precomputation: fill `idx[0..stage_count())` with the
+  /// candidate slot per stage for (flow_sig, eack) and start pulling the
+  /// rows a probe with that access pattern will touch toward L2. The
+  /// batched hot path runs this far ahead of the probe loop, promotes the
+  /// same rows to L1 with prefetch_rows() a few packets before use, then
+  /// feeds the array back to insert()/lookup_erase() so every stage hash
+  /// is computed exactly once per packet.
+  ///
+  /// `all_stages` tunes prefetch volume to the caller's probe: inserts
+  /// commit at the first free slot — at sane occupancies almost always
+  /// stage 0, so prefetching later rows wastes the outstanding-miss
+  /// buffers demanded lines need (false) — while a missing lookup (the
+  /// common ACK case: cumulative ACKs rarely match a tracked eACK exactly)
+  /// walks every stage before giving up (true).
+  /// No-op in unbounded mode (probes there never consult `idx`).
+  void precompute(std::uint32_t flow_sig, SeqNum eack, std::uint32_t* idx,
+                  bool all_stages) const {
+    if (!bounded_) return;
+    const std::uint64_t key = (std::uint64_t{flow_sig} << 32) | eack;
+    for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+      idx[stage] = static_cast<std::uint32_t>(
+          index(key, static_cast<std::uint32_t>(stage)));
+      if (all_stages) prefetch_far(&stages_[stage][idx[stage]]);
+    }
+    if (!all_stages) prefetch_far(&stages_[0][idx[0]]);
+  }
+
+  /// Near-distance companion of precompute(): promote the rows a prior
+  /// precompute() staged in L2 the rest of the way to L1, from the stored
+  /// indices (no hash work). Same `all_stages` meaning.
+  void prefetch_rows(const std::uint32_t* idx, bool all_stages) const {
+    if (!bounded_) return;
+    if (all_stages) {
+      for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+        prefetch_near(&stages_[stage][idx[stage]]);
+      }
+    } else {
+      prefetch_near(&stages_[0][idx[0]]);
+    }
+  }
 
   std::size_t occupied() const;
   std::size_t capacity() const { return stage_size_ * stages_.size(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hugepage.hpp"
 #include "core/checkpoint.hpp"
 
 namespace dart::core {
@@ -13,12 +14,17 @@ RangeTracker::RangeTracker(std::size_t size, std::uint64_t hash_seed,
       wraparound_reset_(wraparound_reset),
       idle_timeout_(idle_timeout),
       hash_(hash_seed) {
-  if (bounded_) slots_.resize(size);
+  if (bounded_) {
+    // Reserve-advise-resize so a table sized past the TLB's reach is
+    // faulted in on huge pages from the start (see hugepage.hpp).
+    slots_.reserve(size);
+    advise_hugepages(slots_.data(), size * sizeof(Entry));
+    slots_.resize(size);
+  }
 }
 
 std::uint64_t RangeTracker::ref_of(const FourTuple& tuple) const {
-  const std::uint64_t h = hash_tuple(tuple);
-  return bounded_ ? hash_(h, 0) % slots_.size() : h;
+  return ref_of_hashed(hash_tuple(tuple));
 }
 
 const RangeTracker::Entry* RangeTracker::find_ref(std::uint64_t ref,
@@ -37,13 +43,20 @@ const RangeTracker::Entry* RangeTracker::find_ref(std::uint64_t ref,
 
 SeqOutcome RangeTracker::on_seq(const FourTuple& tuple, SeqNum seq,
                                 SeqNum eack, Timestamp now) {
+  return on_seq_hashed(hash_tuple(tuple), seq, eack, now);
+}
+
+SeqOutcome RangeTracker::on_seq_hashed(std::uint64_t tuple_hash, SeqNum seq,
+                                       SeqNum eack, Timestamp now,
+                                       std::uint64_t ref) {
   SeqOutcome outcome;
-  const std::uint32_t sig = flow_signature(tuple);
+  const std::uint32_t sig = fold_signature(tuple_hash);
 
   Entry* entry = nullptr;
   bool occupied_by_other = false;
   if (bounded_) {
-    Entry& slot = slots_[ref_of(tuple)];
+    Entry& slot =
+        slots_[ref != kNoRef ? ref : ref_of_hashed(tuple_hash)];
     if (slot.valid && slot.sig == sig) {
       entry = &slot;
     } else {
@@ -52,7 +65,7 @@ SeqOutcome RangeTracker::on_seq(const FourTuple& tuple, SeqNum seq,
       entry->valid = false;  // claim below
     }
   } else {
-    auto [it, inserted] = map_.try_emplace(hash_tuple(tuple));
+    auto [it, inserted] = map_.try_emplace(tuple_hash);
     entry = &it->second;
     if (inserted) entry->valid = false;
   }
@@ -120,12 +133,19 @@ SeqOutcome RangeTracker::on_seq(const FourTuple& tuple, SeqNum seq,
 
 AckDecision RangeTracker::on_ack(const FourTuple& tuple, SeqNum ack,
                                  bool pure_ack, Timestamp now) {
+  return on_ack_hashed(hash_tuple(tuple), ack, pure_ack, now);
+}
+
+AckDecision RangeTracker::on_ack_hashed(std::uint64_t tuple_hash, SeqNum ack,
+                                        bool pure_ack, Timestamp now,
+                                        std::uint64_t ref) {
   Entry* entry = nullptr;
   if (bounded_) {
-    Entry& slot = slots_[ref_of(tuple)];
-    if (slot.valid && slot.sig == flow_signature(tuple)) entry = &slot;
+    Entry& slot =
+        slots_[ref != kNoRef ? ref : ref_of_hashed(tuple_hash)];
+    if (slot.valid && slot.sig == fold_signature(tuple_hash)) entry = &slot;
   } else {
-    auto it = map_.find(hash_tuple(tuple));
+    auto it = map_.find(tuple_hash);
     if (it != map_.end() && it->second.valid) entry = &it->second;
   }
   if (entry == nullptr) return AckDecision::kNoEntry;

@@ -29,6 +29,7 @@
 
 #include "common/four_tuple.hpp"
 #include "common/hashing.hpp"
+#include "common/prefetch.hpp"
 #include "common/seqnum.hpp"
 #include "common/time.hpp"
 
@@ -87,10 +88,53 @@ class RangeTracker {
   AckDecision on_ack(const FourTuple& tuple, SeqNum ack, bool pure_ack = true,
                      Timestamp now = 0);
 
+  /// "Compute the slot reference from the hash" sentinel for the hashed
+  /// entry points' `ref` parameter. A bounded ref is always < slots_.size()
+  /// so the sentinel is unambiguous there; in unbounded mode the parameter
+  /// is ignored entirely (the map is keyed by the hash), so a 2^-64 hash
+  /// collision with the sentinel merely recomputes the same value.
+  static constexpr std::uint64_t kNoRef = ~std::uint64_t{0};
+
+  /// Hash-carrying twins of on_seq/on_ack for callers that already computed
+  /// `hash_tuple(tuple)` (the batched hot path computes each packet's hash
+  /// exactly once, up front). `tuple_hash` MUST equal hash_tuple of the
+  /// corresponding direction's tuple, and `ref`, when given, MUST equal
+  /// ref_of_hashed(tuple_hash) — the batched path precomputes it for the
+  /// whole batch so the probe skips the slot-index hash. The tuple-taking
+  /// overloads delegate here, so behaviour is identical by construction.
+  SeqOutcome on_seq_hashed(std::uint64_t tuple_hash, SeqNum seq, SeqNum eack,
+                           Timestamp now, std::uint64_t ref = kNoRef);
+  AckDecision on_ack_hashed(std::uint64_t tuple_hash, SeqNum ack,
+                            bool pure_ack, Timestamp now,
+                            std::uint64_t ref = kNoRef);
+
   /// Stable reference to the slot a tuple maps to (slot index when bounded,
   /// full 64-bit tuple hash when unbounded); recirculated Packet Tracker
   /// records carry this so they can re-consult the RT without the tuple.
   std::uint64_t ref_of(const FourTuple& tuple) const;
+
+  /// ref_of from a precomputed hash_tuple() value.
+  std::uint64_t ref_of_hashed(std::uint64_t tuple_hash) const {
+    return bounded_ ? hash_(tuple_hash, 0) % slots_.size() : tuple_hash;
+  }
+
+  /// Pull the slot `tuple_hash` maps to into cache ahead of its probe.
+  /// No-op in unbounded mode: the map node's address is unknowable before
+  /// the find (and the unbounded baseline is not the performance target).
+  void prefetch(std::uint64_t tuple_hash) const {
+    if (bounded_) prefetch_for_write(&slots_[ref_of_hashed(tuple_hash)]);
+  }
+
+  /// Two-level prefetch from an already-computed ref_of_hashed() value —
+  /// the batched path's forms, which cost no hash work: _far starts the
+  /// DRAM fetch toward L2 many packets ahead, _near promotes the slot to
+  /// L1 just before its probe (see prefetch.hpp).
+  void prefetch_ref_far(std::uint64_t ref) const {
+    if (bounded_) prefetch_far(&slots_[ref]);
+  }
+  void prefetch_ref_near(std::uint64_t ref) const {
+    if (bounded_) prefetch_near(&slots_[ref]);
+  }
 
   /// Re-validate a recirculated record: does the flow with this signature
   /// still have `eack` inside its half-open measurement range (left, right]?

@@ -49,6 +49,9 @@ struct CollapseEvent {
   Timestamp ts = 0;
   LegMode leg = LegMode::kExternal;
   bool from_retransmission = false;  ///< else: duplicate-ACK inference
+
+  friend bool operator==(const CollapseEvent&, const CollapseEvent&) =
+      default;
 };
 
 using CollapseCallback = std::function<void(const CollapseEvent&)>;
@@ -63,6 +66,9 @@ struct OptimisticAckEvent {
   SeqNum ack = 0;
   Timestamp ts = 0;
   LegMode leg = LegMode::kExternal;
+
+  friend bool operator==(const OptimisticAckEvent&,
+                         const OptimisticAckEvent&) = default;
 };
 
 using OptimisticAckCallback = std::function<void(const OptimisticAckEvent&)>;

@@ -56,6 +56,9 @@ struct RuntimeHealth {
 
   RuntimeHealth& operator+=(const RuntimeHealth& other);
 
+  friend bool operator==(const RuntimeHealth&, const RuntimeHealth&) =
+      default;
+
   friend RuntimeHealth operator+(RuntimeHealth lhs, const RuntimeHealth& rhs) {
     lhs += rhs;
     return lhs;
@@ -114,6 +117,10 @@ struct DartStats {
   /// shard).
   DartStats& operator+=(const DartStats& other);
   DartStats& merge(const DartStats& other) { return *this += other; }
+
+  /// Field-wise equality (RuntimeHealth included) — what the batch
+  /// differential suite asserts between scalar and batched runs.
+  friend bool operator==(const DartStats&, const DartStats&) = default;
 
   friend DartStats operator+(DartStats lhs, const DartStats& rhs) {
     lhs += rhs;

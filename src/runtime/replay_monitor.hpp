@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "common/packet.hpp"
@@ -25,6 +26,16 @@ class ReplayMonitor {
 
   /// Process one packet of this shard's stream, in arrival order.
   virtual void process(const PacketRecord& packet) = 0;
+
+  /// Process a whole dequeued ring batch, in arrival order. The default
+  /// forwards to process() one packet at a time so existing monitors keep
+  /// working unchanged; DartReplayMonitor overrides it with DartMonitor's
+  /// batched SoA fast path. An override must be observably identical to
+  /// the scalar loop — the batch differential suite holds the two worker
+  /// modes to identical merged stats, samples, and snapshots.
+  virtual void process_batch(std::span<const PacketRecord> packets) {
+    for (const PacketRecord& packet : packets) process(packet);
+  }
 
   /// Counters to fold into the run's merged statistics. Implementations
   /// without Dart-shaped counters may return a default-constructed value.
@@ -59,6 +70,9 @@ class DartReplayMonitor : public ReplayMonitor {
 
   void process(const PacketRecord& packet) override {
     monitor_.process(packet);
+  }
+  void process_batch(std::span<const PacketRecord> packets) override {
+    monitor_.process_batch(packets);
   }
   core::DartStats stats() const override { return monitor_.stats(); }
 

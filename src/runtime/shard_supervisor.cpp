@@ -57,6 +57,7 @@ bool ShardSupervisor::start(Shard& shard, std::uint64_t base_cursor,
                             const core::CheckpointImage* image) {
   auto inc = std::make_shared<Incarnation>(config_.queue_batches);
   inc->shard = shard.index;
+  inc->batched = config_.batched_workers;
   // Taking ownership here is the fence: any commit still in flight from a
   // predecessor (or a released zombie) is rejected from this instant.
   inc->id = coordinator_.begin_incarnation(shard.index);
@@ -155,8 +156,12 @@ void ShardSupervisor::worker_loop(Incarnation& inc) {
                                    ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
 #endif
-      for (const PacketRecord& packet : work.batch) {
-        inc.monitor->process(packet);
+      if (inc.batched) {
+        inc.monitor->process_batch(work.batch);
+      } else {
+        for (const PacketRecord& packet : work.batch) {
+          inc.monitor->process(packet);
+        }
       }
       inc.packets_done.fetch_add(work.batch.size(),
                                  std::memory_order_release);
@@ -168,6 +173,8 @@ void ShardSupervisor::worker_loop(Incarnation& inc) {
             static_cast<Timestamp>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                     .count()));
+        inc.metrics->batch_fill->at(inc.shard).observe(
+            static_cast<Timestamp>(work.batch.size()));
         inc.metrics->worker_batches->at(inc.shard).inc();
         inc.metrics->worker_packets->at(inc.shard).inc(work.batch.size());
       }

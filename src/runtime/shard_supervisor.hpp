@@ -85,6 +85,13 @@ struct SupervisorConfig {
   std::uint64_t route_seed = 0xDA27'0002;
   OverloadPolicy overload;
 
+  /// Workers process dequeued batches via ReplayMonitor::process_batch
+  /// (the batched SoA fast path); false forces the per-packet loop. See
+  /// ShardedConfig::batched_workers. Barrier markers are separate ring
+  /// entries, so checkpoint placement is identical in both modes: a batch
+  /// is always processed whole on one side of a barrier.
+  bool batched_workers = true;
+
   /// Per-worker shutdown join bound (0 = wait forever), as in
   /// ShardedConfig. A worker that misses it at finish() is abandoned; its
   /// stats are salvaged from its last committed checkpoint.
@@ -196,6 +203,7 @@ class ShardSupervisor {
     core::DartStats final_stats;           ///< written by worker before exit
     std::thread thread;
     std::uint32_t shard = 0;
+    bool batched = true;            ///< worker-loop mode, from the config
     std::uint64_t id = 0;           ///< coordinator incarnation id
     std::uint64_t base_cursor = 0;  ///< shard-stream position at start
     CheckpointCoordinator* coordinator = nullptr;

@@ -41,6 +41,7 @@ void ShardedMonitor::start(MonitorFactory factory) {
   for (std::uint32_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_shared<Shard>(config_.queue_batches);
     shard->index = i;
+    shard->batched = config_.batched_workers;
 #if defined(DART_FAULT_INJECTION)
     shard->faults = config_.faults;
 #endif
@@ -86,8 +87,12 @@ void ShardedMonitor::worker_loop(Shard& shard) {
                                    ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
 #endif
-      for (const PacketRecord& packet : batch) {
-        shard.monitor->process(packet);
+      if (shard.batched) {
+        shard.monitor->process_batch(batch);
+      } else {
+        for (const PacketRecord& packet : batch) {
+          shard.monitor->process(packet);
+        }
       }
 #if defined(DART_TELEMETRY)
       if (shard.metrics != nullptr) {
@@ -97,6 +102,8 @@ void ShardedMonitor::worker_loop(Shard& shard) {
             .observe(static_cast<Timestamp>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                     .count()));
+        shard.metrics->batch_fill->at(shard.index)
+            .observe(static_cast<Timestamp>(batch.size()));
         shard.metrics->worker_batches->at(shard.index).inc();
         shard.metrics->worker_packets->at(shard.index).inc(batch.size());
       }

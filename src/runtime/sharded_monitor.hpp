@@ -79,6 +79,14 @@ struct ShardedConfig {
   /// Routing hash seed; independent of the monitors' table hash seeds.
   std::uint64_t route_seed = 0xDA27'0002;
 
+  /// Workers hand each dequeued ring batch to ReplayMonitor::process_batch
+  /// (DartMonitor's batched SoA fast path). false forces the per-packet
+  /// virtual loop — the scalar baseline the batch differential suite and
+  /// bench_throughput's scalar rows compare against. Routing, ordering,
+  /// shed/backpressure accounting, and result merging are identical in
+  /// both modes; only the worker's inner loop changes.
+  bool batched_workers = true;
+
   /// How hard the router waits on a full ring before shedding the batch.
   OverloadPolicy overload;
 
@@ -173,6 +181,7 @@ class ShardedMonitor {
     PacketBatch pending;                     // router-side accumulation
     std::thread thread;
     std::uint32_t index = 0;
+    bool batched = true;  // worker-loop mode, copied from the config
     std::atomic<bool> input_done{false};
     std::atomic<bool> dead{false};    // worker exited before end-of-input
     std::atomic<bool> exited{false};  // worker loop finished (all paths)

@@ -83,6 +83,11 @@ RuntimeMetrics::RuntimeMetrics(Registry& reg) : registry(&reg) {
   }
   {
     HistogramOptions opts;
+    opts.help = "packets per dequeued ring batch (SoA hot-path fill level)";
+    batch_fill = &reg.histogram("dart_batch_fill", opts);
+  }
+  {
+    HistogramOptions opts;
     opts.help = "wall-clock latency of one checkpoint commit (ns)";
     opts.slots = 1;  // the coordinator is a single writer
     opts.max_value = sec(100);

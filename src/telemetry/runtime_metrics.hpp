@@ -52,6 +52,7 @@ struct RuntimeMetrics {
   CounterFamily* checkpoint_rejected = nullptr;
   GaugeFamily* ring_occupancy = nullptr;
   HistogramFamily* batch_latency = nullptr;
+  HistogramFamily* batch_fill = nullptr;  ///< packets per dequeued batch
   HistogramFamily* commit_latency = nullptr;
 
   /// Write one shard's authoritative counters from its merged result.
