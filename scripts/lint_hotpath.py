@@ -25,7 +25,17 @@ immediately above the offending line:
     virtual bool useful(...) const = 0;
 
 Every waiver must carry a reason after the colon; a bare "hotpath-ok"
-fails the lint. Exit status: 0 clean, 1 findings, 2 usage error.
+fails the lint. A waiver that shields no finding is itself an error
+([stale-waiver]) — stale waivers rot into blanket permission slips when
+the code around them changes, so they must be deleted with the construct
+they excused.
+
+Usage:
+    lint_hotpath.py              lint the hot-path globs of this repo
+    lint_hotpath.py FILE...      lint exactly these files (fixture/test
+                                 hook; files are repo-relative or absolute)
+
+Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -106,8 +116,14 @@ def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
 def lint_file(path: pathlib.Path) -> list[str]:
     findings = []
     in_block = False
-    waive_next = False
-    rel = path.relative_to(REPO)
+    try:
+        rel = path.relative_to(REPO)
+    except ValueError:
+        rel = path
+    # Waiver lineno -> number of findings it shielded; anything still at
+    # zero after the scan is stale and reported as its own finding.
+    waiver_hits: dict[int, int] = {}
+    carry_from = None  # comment-only waiver line covering this line
     for lineno, raw in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
         if BARE_WAIVER.search(raw) and not WAIVER.search(raw):
@@ -115,29 +131,50 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: [waiver] 'hotpath-ok' without a reason — "
                 f"write 'hotpath-ok: <why this is not per-packet>'")
         has_waiver = WAIVER.search(raw) is not None
-        waived = has_waiver or waive_next
+        if has_waiver:
+            waiver_hits[lineno] = 0
+        covering = lineno if has_waiver else carry_from
         code, in_block = strip_code(raw, in_block)
         # A comment-only waiver line extends its waiver to the next line,
         # covering declarations too long to annotate inline.
-        waive_next = has_waiver and not code.strip()
+        carry_from = lineno if (has_waiver and not code.strip()) else None
         for name, pattern, why in RULES:
             if pattern.search(code):
-                if waived:
+                if covering is not None:
+                    waiver_hits[covering] += 1
                     continue
                 findings.append(f"{rel}:{lineno}: [{name}] {why}\n"
                                 f"    {raw.strip()}")
+    for lineno in sorted(waiver_hits):
+        if waiver_hits[lineno] == 0:
+            findings.append(
+                f"{rel}:{lineno}: [stale-waiver] 'hotpath-ok' shields no "
+                f"finding — the construct it excused is gone; delete the "
+                f"waiver")
     return findings
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) > 1:
+    if any(a in ("-h", "--help") for a in argv[1:]):
         print(__doc__)
         return 2
-    files = []
-    for glob in HOT_GLOBS:
-        files.extend(sorted(REPO.glob(glob)))
-    files = [f for f in files
-             if str(f.relative_to(REPO)) not in EXEMPT]
+    if len(argv) > 1:
+        # Explicit file list: the fixture/test hook.
+        files = []
+        for name in argv[1:]:
+            path = pathlib.Path(name)
+            if not path.is_absolute():
+                path = REPO / path
+            if not path.is_file():
+                print(f"lint_hotpath: no such file: {name}")
+                return 2
+            files.append(path)
+    else:
+        files = []
+        for glob in HOT_GLOBS:
+            files.extend(sorted(REPO.glob(glob)))
+        files = [f for f in files
+                 if str(f.relative_to(REPO)) not in EXEMPT]
     if not files:
         print("lint_hotpath: no hot-path files found — tree layout changed?")
         return 2

@@ -1,0 +1,145 @@
+// Compiler-enforced thread-safety annotations for the host runtime.
+//
+// Clang's -Wthread-safety analysis proves, at compile time, that every
+// access to a mutex-guarded field happens with the right lock held — the
+// static counterpart of the TSan jobs, and the host-runtime analogue of
+// what dart-pipeline-lint does for the data plane: the invariant is checked
+// before anything runs, not observed after it raced. The DART_* macros
+// expand to the Clang attributes under Clang and to nothing elsewhere, so a
+// GCC build is byte-identical and the annotations cost nothing.
+//
+// libstdc++'s std::mutex carries no capability attribute, so annotating a
+// field GUARDED_BY(a std::mutex) is itself a -Wthread-safety-attributes
+// error. The runtime therefore locks through the annotated wrappers below
+// (Mutex / MutexLock / UniqueLock), which delegate to std::mutex and add
+// only the attributes. Build with -DDART_THREAD_SAFETY=ON under clang (CI's
+// static-analysis job does) to turn every violation into a compile error;
+// dart-analyze CON005 independently insists the annotations exist at all.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define DART_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DART_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Field is protected by the given capability (mutex); reads require the
+/// capability shared, writes require it exclusively.
+#define DART_GUARDED_BY(x) DART_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the capability.
+#define DART_PT_GUARDED_BY(x) DART_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define DART_REQUIRES(...) \
+  DART_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define DART_ACQUIRE(...) \
+  DART_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define DART_RELEASE(...) \
+  DART_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; the boolean says which return value
+/// means "acquired".
+#define DART_TRY_ACQUIRE(...) \
+  DART_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define DART_EXCLUDES(...) DART_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Type is a lockable capability.
+#define DART_CAPABILITY(x) DART_THREAD_ANNOTATION(capability(x))
+
+/// RAII type whose lifetime equals a critical section.
+#define DART_SCOPED_CAPABILITY DART_THREAD_ANNOTATION(scoped_lockable)
+
+/// Escape hatch for code the analysis cannot model; every use needs a
+/// same-line reason, the way hotpath-ok waivers do.
+#define DART_NO_THREAD_SAFETY_ANALYSIS \
+  DART_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Documentation-only marker for fields published by something the analysis
+/// cannot express: a release-store of the named atomic (SPSC ring slots,
+/// worker exit flags) or a thread join. Expands to nothing everywhere; it
+/// exists so cross-thread visibility rules are written at the field, where
+/// dart-analyze and reviewers can see them, instead of in tribal knowledge.
+#define DART_PUBLISHED_BY(x)
+
+namespace dart::common {
+
+/// std::mutex with the capability attribute the analysis needs. Locking
+/// through the RAII types below keeps CON006 (no bare lock/unlock) happy;
+/// the raw methods exist for the wrappers and for condition-variable plumbing.
+class DART_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DART_ACQUIRE() { mutex_.lock(); }    // con-ok(CON006): wrapper
+  void unlock() DART_RELEASE() { mutex_.unlock(); }  // con-ok(CON006): wrapper
+  bool try_lock() DART_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();  // con-ok(CON006): wrapper
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock (the lock_guard shape): acquires in the constructor, releases
+/// in the destructor, no manual control in between.
+class DART_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DART_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();  // con-ok(CON006): the RAII acquisition itself
+  }
+  ~MutexLock() DART_RELEASE() {
+    mutex_.unlock();  // con-ok(CON006): the RAII release itself
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped lock that a std::condition_variable_any can drop and retake
+/// (BasicLockable). wait() unlocks and relocks internally — opaque to the
+/// analysis, which correctly keeps treating the capability as held across
+/// the call, so the classic `while (!predicate) cv.wait(lock);` pattern
+/// checks cleanly against DART_GUARDED_BY predicates.
+class DART_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) DART_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();  // con-ok(CON006): the RAII acquisition itself
+    owned_ = true;
+  }
+  ~UniqueLock() DART_RELEASE() {
+    if (owned_) mutex_.unlock();  // con-ok(CON006): the RAII release itself
+  }
+
+  void lock() DART_ACQUIRE() {
+    mutex_.lock();  // con-ok(CON006): BasicLockable relock for condvar wait
+    owned_ = true;
+  }
+  void unlock() DART_RELEASE() {
+    owned_ = false;
+    mutex_.unlock();  // con-ok(CON006): BasicLockable unlock for condvar wait
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+  // con-ok(CON005): scope-local RAII bookkeeping, never visible off-thread
+  bool owned_ = false;
+};
+
+}  // namespace dart::common

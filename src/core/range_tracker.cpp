@@ -218,7 +218,7 @@ void RangeTracker::snapshot(CheckpointWriter& writer) const {
     }
     return;
   }
-  std::vector<std::uint64_t> keys;  // hotpath-ok: quiesce-time serialization
+  std::vector<std::uint64_t> keys;
   keys.reserve(map_.size());
   for (const auto& [key, entry] : map_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
@@ -237,7 +237,7 @@ CheckpointError RangeTracker::restore(CheckpointReader& reader) {
 
   // Stage everything locally; the live tables are untouched until the whole
   // section has decoded cleanly.
-  std::vector<Entry> staged_slots;  // hotpath-ok: quiesce-time restore
+  std::vector<Entry> staged_slots;
   std::unordered_map<std::uint64_t, Entry> staged_map;
   if (bounded_) staged_slots.resize(slots_.size());
 

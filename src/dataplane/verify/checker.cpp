@@ -111,6 +111,7 @@ std::string rule_name(Rule rule) {
     case Rule::kRecirculation: return "recirculation";
     case Rule::kRegisterWidth: return "register width";
     case Rule::kMemoryBudget: return "memory budget";
+    case Rule::kDeadTable: return "dead table";
   }
   return "?";
 }
@@ -162,6 +163,25 @@ CheckReport check(const PipelineProgram& program,
            "recirculation edge references a pass that does not exist (" +
                std::to_string(edge.from_pass) + " -> " +
                std::to_string(edge.to_pass) + ")");
+    }
+  }
+
+  // --- DPL008: declared-but-never-accessed tables -------------------------
+  {
+    std::set<std::string> accessed;
+    for (const Pass& pass : program.passes) {
+      for (const TableAccess& access : pass.accesses) {
+        accessed.insert(access.table);
+      }
+    }
+    for (const TableDecl& table : program.tables) {
+      if (accessed.count(table.name) == 0) {
+        diag(diags, Rule::kDeadTable,
+             "table '" + table.name +
+                 "' is declared but no pass ever accesses it; dead tables "
+                 "still consume memory and a stage slot — remove the "
+                 "declaration or wire the table into a pass");
+      }
     }
   }
 
@@ -354,14 +374,21 @@ CheckReport check(const PipelineProgram& program,
 
 CheckReport check_deployment(const DartLayout& layout,
                              const MonitorShape& shape,
-                             const TargetProfile& target) {
+                             const TargetProfile& target,
+                             const std::vector<std::string>& extra_tables) {
   // Keep the analytic memory model and the emitted program in agreement on
   // the knobs both understand.
   DartLayout synced = layout;
   synced.pt_stages = shape.pt_stages;
   synced.both_legs = shape.both_legs;
 
-  CheckReport report = check(emit_program(synced, shape), target);
+  PipelineProgram program = emit_program(synced, shape);
+  for (const std::string& name : extra_tables) {
+    TableDecl dead;
+    dead.name = name;
+    program.tables.push_back(std::move(dead));
+  }
+  CheckReport report = check(program, target);
   for (Diagnostic& d : check_shape(shape)) {
     report.diagnostics.push_back(std::move(d));
   }

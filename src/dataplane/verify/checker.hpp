@@ -25,6 +25,10 @@
 //                            zero-stage PT, empty passes).
 //   DPL007 memory budget   — SRAM/TCAM/total-resource overruns, folded in
 //                            from validate_layout by check_deployment.
+//   DPL008 dead table      — a declared table no pass ever accesses;
+//                            dead tables still consume SRAM/TCAM and a
+//                            stage slot on real targets, so an emitted
+//                            program carrying one is a generator bug.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +49,7 @@ enum class Rule : std::uint8_t {
   kRecirculation = 5,
   kRegisterWidth = 6,
   kMemoryBudget = 7,
+  kDeadTable = 8,
 };
 
 /// Stable diagnostic code ("DPL003") for a rule.
@@ -100,9 +105,14 @@ CheckReport check(const PipelineProgram& program, const TargetProfile& target);
 /// Emit the program for (layout, shape), check it, and fold in the memory
 /// budget problems from validate_layout as DPL007 diagnostics. This is the
 /// one-call API behind both dart-pipeline-lint and fail-fast construction.
+/// `extra_tables` declares additional registers in the emitted program
+/// without wiring them into any pass — emit_program itself never produces
+/// a dead table, so this is the hook dart-pipeline-lint's --extra-table
+/// flag (and the DPL008 tests) use to model a generator regression.
 CheckReport check_deployment(const DartLayout& layout,
                              const MonitorShape& shape,
-                             const TargetProfile& target);
+                             const TargetProfile& target,
+                             const std::vector<std::string>& extra_tables = {});
 
 /// Structural sanity of a monitor shape alone — constraints that make the
 /// pipeline ill-formed on any target (zero PT stages, zero-width

@@ -14,7 +14,7 @@ CheckpointCoordinator::CheckpointCoordinator(std::uint32_t shards) {
 
 std::uint64_t CheckpointCoordinator::begin_incarnation(std::uint32_t shard) {
   Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   slot.owner = slot.next_id++;
   return slot.owner;
 }
@@ -25,7 +25,7 @@ bool CheckpointCoordinator::commit(std::uint32_t shard,
                                    const core::SnapshotMeta& meta,
                                    std::vector<core::RttSample>&& samples) {
   Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   if (slot.owner != incarnation) return false;
   slot.committed.insert(slot.committed.end(),
                         std::make_move_iterator(samples.begin()),
@@ -50,7 +50,7 @@ bool CheckpointCoordinator::latest(std::uint32_t shard,
                                    core::CheckpointImage* image,
                                    core::SnapshotMeta* meta) const {
   const Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   if (!slot.has_image) return false;
   if (image != nullptr) *image = slot.image;
   if (meta != nullptr) *meta = slot.meta;
@@ -60,21 +60,21 @@ bool CheckpointCoordinator::latest(std::uint32_t shard,
 std::vector<core::RttSample> CheckpointCoordinator::committed_samples(
     std::uint32_t shard) const {
   const Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   return slot.committed;
 }
 
 std::uint64_t CheckpointCoordinator::committed_sample_count(
     std::uint32_t shard) const {
   const Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   return slot.committed.size();
 }
 
 std::uint64_t CheckpointCoordinator::checkpoints_cut(
     std::uint32_t shard) const {
   const Slot& slot = *slots_[shard];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  const common::MutexLock lock(slot.mutex);
   return slot.cuts;
 }
 

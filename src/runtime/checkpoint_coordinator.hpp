@@ -24,9 +24,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/checkpoint.hpp"
 #include "core/rtt_sample.hpp"
 
@@ -93,15 +93,22 @@ class CheckpointCoordinator {
   }
 
  private:
+  // Every field is written by whichever thread holds the commit mutex —
+  // workers at barrier commits, the supervisor at ownership transfers and
+  // recovery reads — so all of them are GUARDED_BY it, and a clang
+  // -Wthread-safety build (DART_THREAD_SAFETY=ON) proves every access
+  // locks first. The zombie-fencing argument in the file comment *depends*
+  // on owner being read under the same mutex that serializes commits.
   struct Slot {
-    mutable std::mutex mutex;
-    std::uint64_t owner = 0;  ///< current incarnation id; 0 = none yet
-    std::uint64_t next_id = 1;
-    bool has_image = false;
-    core::CheckpointImage image;
-    core::SnapshotMeta meta;
-    std::vector<core::RttSample> committed;
-    std::uint64_t cuts = 0;
+    mutable common::Mutex mutex;
+    /// Current incarnation id; 0 = none yet.
+    std::uint64_t owner DART_GUARDED_BY(mutex) = 0;
+    std::uint64_t next_id DART_GUARDED_BY(mutex) = 1;
+    bool has_image DART_GUARDED_BY(mutex) = false;
+    core::CheckpointImage image DART_GUARDED_BY(mutex);
+    core::SnapshotMeta meta DART_GUARDED_BY(mutex);
+    std::vector<core::RttSample> committed DART_GUARDED_BY(mutex);
+    std::uint64_t cuts DART_GUARDED_BY(mutex) = 0;
   };
 
   // unique_ptr because Slot holds a mutex (immovable) and the vector is

@@ -55,10 +55,13 @@ FaultPlan::Action FaultPlan::before_pop(std::uint32_t shard,
     // hang_fired lives under the hang mutex: with a supervised runtime the
     // blocked zombie and its restarted successor exist concurrently, and
     // both reach this check.
-    std::unique_lock<std::mutex> lock(hang_mutex_);
+    common::UniqueLock lock(hang_mutex_);
     if (!state.hang_fired) {
       state.hang_fired = true;  // one-shot: after release the worker resumes
-      hang_cv_.wait(lock, [this] { return hangs_released_; });
+      // Explicit loop, not the predicate overload: the analysis cannot see
+      // into a predicate lambda, but it tracks the capability as held
+      // across wait(), so the guarded read below checks cleanly.
+      while (!hangs_released_) hang_cv_.wait(lock);
     }
   }
   if (batches_done >= state.kill_after &&
@@ -87,14 +90,14 @@ void FaultPlan::after_pop(std::uint32_t shard, std::uint64_t batch_index) {
 
 void FaultPlan::release_hangs() {
   {
-    std::lock_guard<std::mutex> lock(hang_mutex_);
+    const common::MutexLock lock(hang_mutex_);
     hangs_released_ = true;
   }
   hang_cv_.notify_all();
 }
 
 bool FaultPlan::hangs_released() const {
-  std::lock_guard<std::mutex> lock(hang_mutex_);
+  const common::MutexLock lock(hang_mutex_);
   return hangs_released_;
 }
 

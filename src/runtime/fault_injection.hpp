@@ -28,11 +28,11 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/packet.hpp"
 #include "common/random.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dart::runtime {
 
@@ -108,12 +108,19 @@ class FaultPlan {
 
   ShardFaults& shard_faults(std::uint32_t shard);
 
+  // con-ok(CON005): written only while the plan is built, before any worker
+  // starts; workers treat it as immutable (published by thread creation)
   std::uint64_t seed_;
+  // con-ok(CON005): sized at build time; each element is touched only by
+  // the one worker owning that shard (hang_fired under hang_mutex_ aside)
   std::vector<ShardFaults> shards_;
 
-  mutable std::mutex hang_mutex_;
-  std::condition_variable hang_cv_;
-  bool hangs_released_ = false;
+  // The hang release flag is the only cross-thread channel in the plan:
+  // a blocked zombie and the test thread calling release_hangs() meet here.
+  // condition_variable_any waits on the annotated UniqueLock directly.
+  mutable common::Mutex hang_mutex_;
+  std::condition_variable_any hang_cv_;
+  bool hangs_released_ DART_GUARDED_BY(hang_mutex_) = false;
 };
 
 /// Input-side fault (the "non-monotonic / skewed timestamps" scenario):

@@ -57,6 +57,7 @@
 
 #include "analytics/sample_log.hpp"
 #include "common/packet.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/config.hpp"
 #include "core/rtt_sample.hpp"
 #include "core/stats.hpp"
@@ -198,16 +199,21 @@ class ShardSupervisor {
     explicit Incarnation(std::size_t queue_batches) : queue(queue_batches) {}
 
     SpscRing<Work> queue;
-    std::unique_ptr<ReplayMonitor> monitor;
-    std::vector<core::RttSample> pending;  ///< emitted, not yet committed
-    core::DartStats final_stats;           ///< written by worker before exit
+    // Published to the worker by thread creation; published back to the
+    // supervisor by the exited release-store (acquired via join or an
+    // exited load). pending/limbo are additionally read by the supervisor
+    // after wait_exited() proves the worker is gone.
+    std::unique_ptr<ReplayMonitor> monitor DART_PUBLISHED_BY(exited);
+    std::vector<core::RttSample> pending DART_PUBLISHED_BY(exited);
+    core::DartStats final_stats DART_PUBLISHED_BY(exited);
     std::thread thread;
     std::uint32_t shard = 0;
     bool batched = true;            ///< worker-loop mode, from the config
     std::uint64_t id = 0;           ///< coordinator incarnation id
     std::uint64_t base_cursor = 0;  ///< shard-stream position at start
     CheckpointCoordinator* coordinator = nullptr;
-    std::vector<Work> limbo;  ///< popped-unprocessed work parked at a kill
+    /// Popped-unprocessed work parked at a kill.
+    std::vector<Work> limbo DART_PUBLISHED_BY(exited);
 
     /// Heartbeat: shard-stream packets processed by *this* incarnation.
     /// base_cursor + packets_done is the incarnation's absolute frontier.

@@ -44,6 +44,7 @@
 
 #include "analytics/sample_log.hpp"
 #include "common/packet.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/config.hpp"
 #include "core/rtt_sample.hpp"
 #include "core/stats.hpp"
@@ -171,14 +172,20 @@ class ShardedMonitor {
  private:
   using PacketBatch = std::vector<PacketRecord>;
 
+  // Lock-free cross-thread protocol, in DART_PUBLISHED_BY terms: the
+  // constructing thread publishes monitor/faults/metrics to the worker via
+  // thread creation; the worker publishes samples/final_stats back with its
+  // exited release-store, which finish() acquires via join (or an exited
+  // load, for a detached worker). Everything else is single-thread-owned.
   struct Shard {
     explicit Shard(std::size_t queue_batches) : queue(queue_batches) {}
 
     SpscRing<PacketBatch> queue;
-    std::unique_ptr<ReplayMonitor> monitor;  // worker-owned while running
-    analytics::SampleLog samples;            // worker-written while running
-    core::DartStats final_stats;             // written by worker before exit
-    PacketBatch pending;                     // router-side accumulation
+    // Worker-owned while running; readable only after exited.
+    std::unique_ptr<ReplayMonitor> monitor DART_PUBLISHED_BY(exited);
+    analytics::SampleLog samples DART_PUBLISHED_BY(exited);
+    core::DartStats final_stats DART_PUBLISHED_BY(exited);
+    PacketBatch pending;  // router-side accumulation
     std::thread thread;
     std::uint32_t index = 0;
     bool batched = true;  // worker-loop mode, copied from the config

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace dart::runtime {
 
 // A fixed 64 rather than std::hardware_destructive_interference_size: the
@@ -85,7 +87,12 @@ class SpscRing {
   std::size_t capacity() const { return mask_ + 1; }
 
  private:
-  std::vector<T> slots_;
+  // A slot's contents cross threads only through the index release-stores:
+  // the producer's head_ release publishes the slot it just wrote and the
+  // consumer's matching acquire load makes it visible (and symmetrically
+  // tail_ hands the emptied slot back). The cached indices never cross
+  // threads at all.
+  std::vector<T> slots_ DART_PUBLISHED_BY(head_ /* and reclaimed by tail_ */);
   std::size_t mask_ = 0;
 
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // next write

@@ -49,7 +49,7 @@ Registry::Registry(std::size_t default_slots)
 
 CounterFamily& Registry::counter(const std::string& name,
                                  FamilyOptions options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   if (const auto it = counter_index_.find(name);
       it != counter_index_.end()) {
     return *it->second;
@@ -64,7 +64,7 @@ CounterFamily& Registry::counter(const std::string& name,
 }
 
 GaugeFamily& Registry::gauge(const std::string& name, FamilyOptions options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
     return *it->second;
   }
@@ -80,7 +80,7 @@ GaugeFamily& Registry::gauge(const std::string& name, FamilyOptions options) {
 
 HistogramFamily& Registry::histogram(const std::string& name,
                                      HistogramOptions options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   if (const auto it = histogram_index_.find(name);
       it != histogram_index_.end()) {
     return *it->second;
@@ -95,12 +95,12 @@ HistogramFamily& Registry::histogram(const std::string& name,
 }
 
 std::size_t Registry::family_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 TelemetrySnapshot Registry::snapshot(const SnapshotOptions& options) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   TelemetrySnapshot snap;
   for (const CounterFamily& family : counters_) {
     if (options.deterministic_only && !family.deterministic()) continue;

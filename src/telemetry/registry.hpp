@@ -16,10 +16,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace dart::telemetry {
@@ -174,14 +174,20 @@ class Registry {
     return requested == 0 ? default_slots_ : requested;
   }
 
-  mutable std::mutex mutex_;  ///< guards family creation, not slot writes
-  std::size_t default_slots_;
-  std::deque<CounterFamily> counters_;
-  std::deque<GaugeFamily> gauges_;
-  std::deque<HistogramFamily> histograms_;
-  std::map<std::string, CounterFamily*> counter_index_;
-  std::map<std::string, GaugeFamily*> gauge_index_;
-  std::map<std::string, HistogramFamily*> histogram_index_;
+  // The mutex guards family *creation* (the deques and name indexes), not
+  // slot writes: workers only touch the atomic slots inside a family, via
+  // references resolved up front, and deque growth never relocates existing
+  // families. default_slots_ is const — set once, read lock-free.
+  mutable common::Mutex mutex_;
+  const std::size_t default_slots_;
+  std::deque<CounterFamily> counters_ DART_GUARDED_BY(mutex_);
+  std::deque<GaugeFamily> gauges_ DART_GUARDED_BY(mutex_);
+  std::deque<HistogramFamily> histograms_ DART_GUARDED_BY(mutex_);
+  std::map<std::string, CounterFamily*> counter_index_
+      DART_GUARDED_BY(mutex_);
+  std::map<std::string, GaugeFamily*> gauge_index_ DART_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramFamily*> histogram_index_
+      DART_GUARDED_BY(mutex_);
 };
 
 }  // namespace dart::telemetry

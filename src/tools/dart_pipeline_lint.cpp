@@ -50,6 +50,9 @@ void print_usage(std::ostream& out) {
          "32)\n"
          "  --no-flow-filter           drop the operator flow filter\n"
          "  --no-payload-lut           compute payload size arithmetically\n"
+         "  --extra-table NAME         declare NAME without accessing it\n"
+         "                             (models a dead-table generator bug;\n"
+         "                             rejected by DPL008)\n"
          "\n"
          "Other:\n"
          "  --quiet                    print diagnostics only, no report\n"
@@ -63,6 +66,7 @@ void print_rules(std::ostream& out) {
       Rule::kRmwSingleStage, Rule::kStagePlacement,
       Rule::kStageBudget,   Rule::kRecirculation,
       Rule::kRegisterWidth, Rule::kMemoryBudget,
+      Rule::kDeadTable,
   };
   for (const Rule rule : rules) {
     out << dart::dataplane::verify::rule_code(rule) << "  "
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
   DartLayout layout;
   MonitorShape shape;
   TargetProfile target = dart::dataplane::tofino1_profile();
+  std::vector<std::string> extra_tables;
   bool quiet = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -156,6 +161,9 @@ int main(int argc, char** argv) {
       if (!value(v) || !parse_u32(v, layout.flow_filter_rules)) return 2;
     } else if (arg == "--register-bits") {
       if (!value(v) || !parse_u32(v, shape.register_bits)) return 2;
+    } else if (arg == "--extra-table") {
+      if (!value(v)) return 2;
+      extra_tables.push_back(v);
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -163,8 +171,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const CheckReport report =
-      dart::dataplane::verify::check_deployment(layout, shape, target);
+  const CheckReport report = dart::dataplane::verify::check_deployment(
+      layout, shape, target, extra_tables);
   if (quiet) {
     const std::string diags =
         dart::dataplane::verify::format_diagnostics(report.diagnostics);

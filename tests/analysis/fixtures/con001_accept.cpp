@@ -1,0 +1,20 @@
+// dart-analyze fixture: hot-path atomics with explicit memory_order.
+// Accepted under --treat-as hotpath (no CON001 findings).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<std::uint64_t> value{0};
+
+  void bump() { value.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t read_acquire() const {
+    return value.load(std::memory_order_acquire);
+  }
+  void publish(std::uint64_t next) {
+    value.store(next, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// dart-analyze fixture: defaulted and explicit seq_cst atomics on the hot
+// path. Rejected under --treat-as hotpath (CON001 twice).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<std::uint64_t> value{0};
+
+  void bump() { value.fetch_add(1); }
+  std::uint64_t read() const {
+    return value.load(std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace fixture

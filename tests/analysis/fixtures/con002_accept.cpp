@@ -1,0 +1,10 @@
+// dart-analyze fixture: no raw thread creation; std::this_thread calls
+// must not trip the raw-thread rule. Accepted under the default (plain)
+// classification.
+#include <thread>
+
+namespace fixture {
+
+inline void backoff() { std::this_thread::yield(); }
+
+}  // namespace fixture

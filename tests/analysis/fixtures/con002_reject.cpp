@@ -1,0 +1,14 @@
+// dart-analyze fixture: raw std::thread plus detach() outside the shard
+// runtime. Rejected under the default classification (CON002 twice);
+// accepted under --treat-as threads-ok, the shard runtime's exemption —
+// the ctest matrix runs this file both ways.
+#include <thread>
+
+namespace fixture {
+
+inline void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// dart-analyze fixture: deterministic code advances virtual (trace) time
+// arithmetically, never by asking a clock. Accepted under
+// --treat-as deterministic.
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t advance_vtime(std::uint64_t now_ns,
+                                   std::uint64_t delta_ns) {
+  return now_ns + delta_ns;
+}
+
+}  // namespace fixture

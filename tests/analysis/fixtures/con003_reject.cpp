@@ -1,0 +1,14 @@
+// dart-analyze fixture: wall-clock read in deterministic code. Rejected
+// under --treat-as deterministic (CON003).
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t now_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// dart-analyze fixture: exported output built by probing the unordered
+// map with caller-ordered keys; the map itself is never iterated.
+// Accepted under --treat-as export.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Exporter {
+  std::unordered_map<std::uint64_t, std::uint64_t> table;
+
+  std::vector<std::uint64_t> export_sorted(
+      const std::vector<std::uint64_t>& keys) const {
+    std::vector<std::uint64_t> out;
+    for (const std::uint64_t key : keys) {
+      const auto it = table.find(key);
+      if (it != table.end()) out.push_back(it->second);
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

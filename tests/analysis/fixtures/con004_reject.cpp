@@ -1,0 +1,19 @@
+// dart-analyze fixture: hash-order iteration feeding exported output.
+// Rejected under --treat-as export (CON004).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Exporter {
+  std::unordered_map<std::uint64_t, std::uint64_t> table;
+
+  std::vector<std::uint64_t> export_unstable() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [key, value] : table) out.push_back(value);
+    return out;
+  }
+};
+
+}  // namespace fixture

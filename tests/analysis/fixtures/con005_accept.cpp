@@ -1,0 +1,19 @@
+// dart-analyze fixture: every field sharing a class with the mutex is
+// annotated, or waived with a reason. Accepted under any classification.
+#include <cstdint>
+
+#define DART_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {};
+
+class Guarded {
+ private:
+  Mutex mutex_;
+  std::uint64_t count_ DART_GUARDED_BY(mutex_) = 0;
+  // con-ok(CON005): owned by the constructing thread, set before start()
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace fixture

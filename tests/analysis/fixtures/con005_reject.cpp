@@ -1,0 +1,15 @@
+// dart-analyze fixture: a field sharing a class with a mutex, with no
+// DART_GUARDED_BY annotation and no waiver. Rejected (CON005).
+#include <cstdint>
+
+namespace fixture {
+
+class Mutex {};
+
+class Guarded {
+ private:
+  Mutex mutex_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// dart-analyze fixture: locking only through RAII scopes. Accepted under
+// any classification.
+#define DART_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) : mutex_(mutex) {}
+
+ private:
+  Mutex& mutex_;
+};
+
+class Guarded {
+ public:
+  void touch() {
+    const MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  Mutex mutex_;
+  int count_ DART_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

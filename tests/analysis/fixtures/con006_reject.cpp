@@ -1,0 +1,24 @@
+// dart-analyze fixture: bare lock()/unlock() pair that an early return or
+// an exception could unbalance. Rejected (CON006 twice).
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+class Guarded {
+ public:
+  void touch() {
+    mutex_.lock();
+    ++count_;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex mutex_;
+  int count_ = 0;  // con-ok(CON005): fixture exercises CON006 only
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// lint_hotpath fixture (reject): the waiver below excuses nothing — the
+// line it sits on matches no lint rule — so the lint must fail with a
+// [stale-waiver] finding instead of silently carrying the permission slip.
+#include <cstdint>
+
+namespace fixture {
+
+struct Counter {
+  std::uint64_t hits = 0;  // hotpath-ok: only bumped at shutdown
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter counter;
+  counter.hits += 1;
+  return static_cast<int>(counter.hits - 1);
+}

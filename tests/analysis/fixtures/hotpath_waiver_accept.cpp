@@ -1,0 +1,23 @@
+// lint_hotpath fixture (accept): both waiver forms shield a genuine
+// finding, so the lint reports nothing and neither waiver is stale.
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Setup {
+  // Same-line form: the construct and its excuse share a line.
+  std::unique_ptr<int> slot =
+      std::make_unique<int>(0);  // hotpath-ok: constructed once at startup
+
+  // Comment-only-line form, for declarations too long to annotate inline.
+  // hotpath-ok: report label built at shutdown, never per packet
+  std::string label;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Setup setup;
+  return *setup.slot;
+}

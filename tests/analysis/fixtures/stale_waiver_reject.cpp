@@ -1,0 +1,9 @@
+// dart-analyze fixture: a waiver that suppresses nothing is itself an
+// error, so fixed code cannot leave silent holes behind. Rejected
+// (stale-waiver).
+namespace fixture {
+
+// con-ok(CON003): stale — the next line reads no clock at all
+inline int forty_two() { return 42; }
+
+}  // namespace fixture

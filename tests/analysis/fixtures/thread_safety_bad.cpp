@@ -1,0 +1,32 @@
+// Thread-safety fixture: the guarded field is read without its mutex — a
+// clang -Wthread-safety build must refuse to compile this file (the ctest
+// row is WILL_FAIL and registered only for clang toolchains). Under GCC
+// the annotations are no-ops and this compiles, which is exactly why the
+// enforcement lives in the clang static-analysis job.
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class BarrierState {
+ public:
+  void bump() {
+    const dart::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  std::uint64_t racy_read() const { return count_; }
+
+ private:
+  mutable dart::common::Mutex mutex_;
+  std::uint64_t count_ DART_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::BarrierState state;
+  state.bump();
+  return static_cast<int>(state.racy_read() - 1);
+}

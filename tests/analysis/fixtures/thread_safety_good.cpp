@@ -1,0 +1,33 @@
+// Thread-safety fixture: annotated locking the clang -Wthread-safety
+// build must accept. Compiled (syntax-only) by the clang-gated ctest row
+// and the static-analysis CI job; never linked into anything.
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class BarrierState {
+ public:
+  void bump() {
+    const dart::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  std::uint64_t read() const {
+    const dart::common::MutexLock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable dart::common::Mutex mutex_;
+  std::uint64_t count_ DART_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::BarrierState state;
+  state.bump();
+  return static_cast<int>(state.read() - 1);
+}

@@ -327,6 +327,49 @@ TEST(Checker, MemoryBudgetRejectsTcamFlood) {
 }
 
 // ---------------------------------------------------------------------------
+// DPL008 dead (never-accessed) tables.
+
+TEST(Checker, DeadTablePassesWhenEveryTableIsAccessed) {
+  EXPECT_FALSE(
+      check(tiny_program(), tofino1_profile()).has_rule(Rule::kDeadTable));
+  EXPECT_FALSE(
+      check(emit_program(DartLayout{}, paper_shape()), tofino1_profile())
+          .has_rule(Rule::kDeadTable));
+}
+
+TEST(Checker, DeadTableRejectsDeclaredButUnaccessedTable) {
+  PipelineProgram program = tiny_program();
+  TableDecl dead = program.tables.front();
+  dead.name = "orphan";
+  program.tables.push_back(dead);
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kDeadTable)) << report.to_string();
+  EXPECT_FALSE(report.feasible());
+}
+
+TEST(Checker, DeadTableFiresAlongsideGhostAccess) {
+  // Renaming the only access leaves 'reg' dead and the access dangling:
+  // DPL000 and DPL008 describe the two halves of the same mistake.
+  PipelineProgram program = tiny_program();
+  program.passes.front().accesses.front().table = "ghost";
+  const CheckReport report = check(program, tofino1_profile());
+  EXPECT_TRUE(report.has_rule(Rule::kConfig)) << report.to_string();
+  EXPECT_TRUE(report.has_rule(Rule::kDeadTable)) << report.to_string();
+}
+
+TEST(Checker, DeadTableViaDeploymentExtraTables) {
+  // emit_program never declares a table it does not access, so the paper
+  // deployment is DPL008-clean; --extra-table models the generator bug.
+  const CheckReport clean =
+      check_deployment(DartLayout{}, paper_shape(), tofino1_profile());
+  EXPECT_FALSE(clean.has_rule(Rule::kDeadTable)) << clean.to_string();
+  const CheckReport dirty = check_deployment(
+      DartLayout{}, paper_shape(), tofino1_profile(), {"spin_bit_state"});
+  EXPECT_TRUE(dirty.has_rule(Rule::kDeadTable)) << dirty.to_string();
+  EXPECT_FALSE(dirty.feasible());
+}
+
+// ---------------------------------------------------------------------------
 // Report plumbing.
 
 TEST(Checker, DiagnosticCodesAreStable) {
@@ -338,6 +381,7 @@ TEST(Checker, DiagnosticCodesAreStable) {
   EXPECT_EQ(rule_code(Rule::kRecirculation), "DPL005");
   EXPECT_EQ(rule_code(Rule::kRegisterWidth), "DPL006");
   EXPECT_EQ(rule_code(Rule::kMemoryBudget), "DPL007");
+  EXPECT_EQ(rule_code(Rule::kDeadTable), "DPL008");
 }
 
 TEST(Checker, ReportContainsPlacementTableAndVerdict) {
