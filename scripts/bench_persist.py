@@ -24,6 +24,7 @@ whose oversubscribed hosts make ratios meaningless.
 
 import argparse
 import json
+import os
 import sys
 
 ROW_SCHEMA = "dart-bench-v1"
@@ -57,14 +58,26 @@ def validate_rows(rows: list, origin: str) -> None:
 
 
 def merge(out_path: str, inputs: list) -> None:
+    # A missing output file starts a fresh trajectory; anything else that
+    # cannot be parsed is refused, never silently overwritten — a corrupt
+    # trajectory means history was damaged and deserves a human decision.
     trajectory = {"schema": TRAJECTORY_SCHEMA, "benches": {}}
-    try:
-        with open(out_path, encoding="utf-8") as handle:
-            existing = json.load(handle)
-        if existing.get("schema") == TRAJECTORY_SCHEMA:
-            trajectory = existing
-    except (OSError, json.JSONDecodeError):
-        pass  # fresh file
+    if os.path.exists(out_path):
+        if os.path.getsize(out_path) == 0:
+            fail(f"{out_path}: refusing to merge into an empty trajectory "
+                 f"file — remove it to start fresh")
+        try:
+            with open(out_path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except json.JSONDecodeError as exc:
+            fail(f"{out_path}: refusing to merge into a corrupt trajectory "
+                 f"file ({exc}) — remove it to start fresh")
+        except OSError as exc:
+            fail(f"{out_path}: {exc}")
+        if existing.get("schema") != TRAJECTORY_SCHEMA:
+            fail(f"{out_path}: refusing to merge into a file with schema "
+                 f"{existing.get('schema')!r}, expected {TRAJECTORY_SCHEMA!r}")
+        trajectory = existing
 
     for path in inputs:
         document = load(path)
@@ -95,11 +108,21 @@ def single_shard_mpps(rows: list, mode: str) -> float:
 
 
 def check(path: str, min_speedup: float) -> None:
+    # The baseline's absence is the most dangerous failure mode: a CI job
+    # that forgets to commit or restore it must go red, not quietly green.
+    if not os.path.exists(path):
+        fail(f"{path}: baseline trajectory missing — merge rows with "
+             f"--out first, or restore the committed file")
+    if os.path.getsize(path) == 0:
+        fail(f"{path}: baseline trajectory is empty — a truncated or "
+             f"never-written baseline must not pass")
     trajectory = load(path)
     if trajectory.get("schema") != TRAJECTORY_SCHEMA:
         fail(f"{path}: expected schema {TRAJECTORY_SCHEMA!r}, "
              f"got {trajectory.get('schema')!r}")
     benches = trajectory.get("benches", {})
+    if not benches:
+        fail(f"{path}: baseline has no benches")
     if "bench_throughput" not in benches:
         fail(f"{path}: missing bench_throughput rows")
     for bench, body in benches.items():

@@ -1,0 +1,553 @@
+#include "fleet/collector.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/hashing.hpp"
+#include "telemetry/export.hpp"
+
+namespace dart::fleet {
+
+namespace {
+
+/// Value of the sample `name{vantage="<vantage>"}`, or `fallback`.
+double labeled_value(const std::vector<telemetry::PromSample>& samples,
+                     const std::string& name, const std::string& vantage,
+                     double fallback = 0.0) {
+  for (const auto& sample : samples) {
+    if (sample.name != name) continue;
+    auto it = sample.labels.find("vantage");
+    if (it != sample.labels.end() && it->second == vantage) {
+      return sample.value;
+    }
+  }
+  return fallback;
+}
+
+std::uint64_t as_count(double value) {
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(value));
+}
+
+QuarantineReason reason_for(FrameErrorCode code) {
+  switch (code) {
+    case FrameErrorCode::kTruncated:
+      return QuarantineReason::kTruncated;
+    case FrameErrorCode::kBadMagic:
+      return QuarantineReason::kBadMagic;
+    case FrameErrorCode::kBadVersion:
+      return QuarantineReason::kBadVersion;
+    case FrameErrorCode::kCrcMismatch:
+      return QuarantineReason::kCrcMismatch;
+    case FrameErrorCode::kIoError:
+      return QuarantineReason::kIoError;
+    default:
+      return QuarantineReason::kBadFrame;
+  }
+}
+
+}  // namespace
+
+const char* to_string(VantageState state) {
+  switch (state) {
+    case VantageState::kMissing:
+      return "missing";
+    case VantageState::kLive:
+      return "live";
+    case VantageState::kComplete:
+      return "complete";
+    case VantageState::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+const char* to_string(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kTruncated:
+      return "truncated";
+    case QuarantineReason::kBadMagic:
+      return "bad-magic";
+    case QuarantineReason::kBadVersion:
+      return "bad-version";
+    case QuarantineReason::kCrcMismatch:
+      return "crc-mismatch";
+    case QuarantineReason::kBadFrame:
+      return "bad-frame";
+    case QuarantineReason::kUnknownVantage:
+      return "unknown-vantage";
+    case QuarantineReason::kDuplicateSequence:
+      return "duplicate-sequence";
+    case QuarantineReason::kStaleEpoch:
+      return "stale-epoch";
+    case QuarantineReason::kBadCheckpoint:
+      return "bad-checkpoint";
+    case QuarantineReason::kStatsMismatch:
+      return "stats-mismatch";
+    case QuarantineReason::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+std::uint64_t RetryPolicy::delay_ns(std::uint64_t attempt) const {
+  std::uint64_t base = base_delay_ns == 0 ? 1 : base_delay_ns;
+  for (std::uint64_t i = 0; i < attempt && base < max_delay_ns; ++i) {
+    base *= 2;
+  }
+  if (base > max_delay_ns) base = max_delay_ns;
+  // Seeded jitter in [1 - jitter_fraction, 1 + jitter_fraction): the same
+  // (policy, attempt) pair always yields the same delay.
+  const double unit =
+      static_cast<double>(mix64(seed ^ (attempt + 1)) >> 11) * 0x1.0p-53;
+  const double factor = 1.0 - jitter_fraction + 2.0 * jitter_fraction * unit;
+  const double scaled = static_cast<double>(base) * factor;
+  std::uint64_t delay =
+      scaled <= 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+  if (delay > max_delay_ns) delay = max_delay_ns;
+  return delay;
+}
+
+FleetCollector::FleetCollector(CollectorConfig config)
+    : config_(std::move(config)) {
+  vantages_.resize(config_.vantages);
+  pending_.resize(config_.vantages);
+  for (std::uint64_t v = 0; v < config_.vantages; ++v) {
+    vantages_[v].info.name = "v" + std::to_string(v);
+  }
+}
+
+void FleetCollector::quarantine(const std::string& file,
+                                std::uint64_t vantage,
+                                QuarantineReason reason,
+                                std::uint64_t offset) {
+  quarantined_.push_back(QuarantineRecord{file, vantage, reason, offset});
+  ++quarantine_counts_[static_cast<std::size_t>(reason)];
+  if (vantage < vantages_.size()) {
+    ++vantages_[vantage].frames_quarantined;
+  }
+}
+
+void FleetCollector::ingest_file(const SpoolEntry& entry) {
+  seen_files_.insert(entry.path);
+  if (entry.vantage >= config_.vantages) {
+    quarantine(entry.path, entry.vantage, QuarantineReason::kUnknownVantage,
+               0);
+    return;
+  }
+  std::vector<std::uint8_t> bytes;
+  if (auto err = load_frame_file(entry.path, &bytes)) {
+    quarantine(entry.path, entry.vantage, QuarantineReason::kIoError,
+               err.offset);
+    return;
+  }
+  SnapshotFrame frame;
+  if (auto err = decode_frame(bytes, &frame)) {
+    quarantine(entry.path, entry.vantage, reason_for(err.code), err.offset);
+    return;
+  }
+  if (frame.header.vantage != entry.vantage) {
+    // The sealed header and the spool slot disagree: a misdelivered frame.
+    quarantine(entry.path, entry.vantage, QuarantineReason::kBadFrame, 12);
+    return;
+  }
+  VantageStatus& status = vantages_[entry.vantage];
+  auto& pending = pending_[entry.vantage];
+  if (frame.header.sequence < status.next_sequence ||
+      pending.contains(frame.header.sequence)) {
+    quarantine(entry.path, entry.vantage,
+               QuarantineReason::kDuplicateSequence, 20);
+    return;
+  }
+  pending.emplace(frame.header.sequence,
+                  PendingFrame{std::move(frame), entry.path});
+}
+
+bool FleetCollector::apply_frame(std::uint64_t vantage,
+                                 PendingFrame&& pending) {
+  VantageStatus& status = vantages_[vantage];
+  SnapshotFrame& frame = pending.frame;
+  switch (frame.header.kind) {
+    case FrameKind::kManifest: {
+      if (frame.header.sequence != 0) {
+        quarantine(pending.file, vantage, QuarantineReason::kBadFrame, 20);
+        return false;
+      }
+      status.has_manifest = true;
+      status.info = frame.info;
+      if (status.info.name.empty()) {
+        status.info.name = "v" + std::to_string(vantage);
+      }
+      status.state = VantageState::kLive;
+      ++status.frames_accepted;
+      return true;
+    }
+    case FrameKind::kHeartbeat: {
+      // Liveness only: sequence discipline already admitted it in order;
+      // it carries no state to validate and must not move the loss cursor
+      // (its progress claim is not backed by counters).
+      if (status.state != VantageState::kComplete &&
+          status.state != VantageState::kStale) {
+        status.state = VantageState::kLive;
+      }
+      ++status.frames_accepted;
+      return true;
+    }
+    case FrameKind::kEpoch:
+    case FrameKind::kFinal: {
+      if (status.has_stats && (frame.header.epoch <= status.last_epoch ||
+                               frame.header.cursor < status.cursor)) {
+        quarantine(pending.file, vantage, QuarantineReason::kStaleEpoch, 28);
+        return false;
+      }
+      if (!frame.has_telemetry) {
+        quarantine(pending.file, vantage, QuarantineReason::kBadFrame, 44);
+        return false;
+      }
+      const auto samples = telemetry::parse_prometheus(frame.telemetry);
+      const std::uint64_t prom_routed =
+          as_count(telemetry::prom_value(samples, "dart_routed_total"));
+      const std::uint64_t prom_processed =
+          as_count(telemetry::prom_value(samples, "dart_processed_total"));
+      const std::uint64_t prom_shed =
+          as_count(telemetry::prom_value(samples, "dart_shed_total"));
+      const std::uint64_t prom_abandoned =
+          as_count(telemetry::prom_value(samples, "dart_abandoned_total"));
+      const std::uint64_t prom_lost_to_crash = as_count(
+          telemetry::prom_value(samples, "dart_lost_to_crash_total"));
+      // Deep cross-validation before any state moves: the telemetry text
+      // must agree with the envelope cursor and satisfy the per-vantage
+      // identity; an embedded checkpoint must validate and agree too.
+      if (prom_routed != frame.header.cursor ||
+          prom_processed + prom_shed + prom_abandoned + prom_lost_to_crash !=
+              prom_routed) {
+        quarantine(pending.file, vantage, QuarantineReason::kStatsMismatch,
+                   36);
+        return false;
+      }
+      core::DartStats stats;
+      if (frame.has_checkpoint) {
+        core::CheckpointInfo info;
+        if (auto err = core::read_info(frame.checkpoint, &info)) {
+          quarantine(pending.file, vantage,
+                     QuarantineReason::kBadCheckpoint, err.offset);
+          return false;
+        }
+        if (auto err = core::read_stats(frame.checkpoint, &stats)) {
+          quarantine(pending.file, vantage,
+                     QuarantineReason::kBadCheckpoint, err.offset);
+          return false;
+        }
+        if (stats.packets_processed != prom_processed ||
+            stats.samples !=
+                as_count(
+                    telemetry::prom_value(samples, "dart_samples_total"))) {
+          quarantine(pending.file, vantage,
+                     QuarantineReason::kStatsMismatch, 36);
+          return false;
+        }
+      } else {
+        // No image (e.g. a sharded vantage): the telemetry text is the
+        // authoritative source for the merge counters.
+        stats.packets_processed = prom_processed;
+        stats.samples =
+            as_count(telemetry::prom_value(samples, "dart_samples_total"));
+        stats.recirculations = as_count(
+            telemetry::prom_value(samples, "dart_recirculations_total"));
+        stats.runtime.shed_packets = prom_shed;
+        stats.runtime.abandoned_packets = prom_abandoned;
+        stats.runtime.lost_to_crash = prom_lost_to_crash;
+      }
+      status.last_epoch = frame.header.epoch;
+      status.cursor = frame.header.cursor;
+      status.stats = stats;
+      status.has_stats = true;
+      status.telemetry = std::move(frame.telemetry);
+      ++status.frames_accepted;
+      status.state = frame.header.kind == FrameKind::kFinal
+                         ? VantageState::kComplete
+                         : VantageState::kLive;
+      return true;
+    }
+  }
+  quarantine(pending.file, vantage, QuarantineReason::kBadFrame, 44);
+  return false;
+}
+
+void FleetCollector::drain_pending(std::uint64_t vantage) {
+  VantageStatus& status = vantages_[vantage];
+  auto& pending = pending_[vantage];
+  bool blocked_by_gap = false;
+  while (!pending.empty()) {
+    if (status.state == VantageState::kComplete) {
+      // Frames after an accepted final frame are protocol violations.
+      for (auto& [seq, frame] : pending) {
+        quarantine(frame.file, vantage, QuarantineReason::kStaleEpoch, 20);
+      }
+      pending.clear();
+      break;
+    }
+    auto it = pending.find(status.next_sequence);
+    if (it == pending.end()) {
+      // Sequence gap: hold it open for the grace window (a reordered
+      // frame may still fill it), then skip to the next available frame —
+      // state frames are cumulative, so skipping costs no accounting.
+      if (status.gap_attempts < config_.gap_grace_attempts &&
+          !status.fenced) {
+        blocked_by_gap = true;
+        break;
+      }
+      const std::uint64_t next_available = pending.begin()->first;
+      status.frames_missing += next_available - status.next_sequence;
+      status.next_sequence = next_available;
+      status.gap_attempts = 0;
+      continue;
+    }
+    PendingFrame frame = std::move(it->second);
+    pending.erase(it);
+    ++status.next_sequence;
+    status.gap_attempts = 0;
+    apply_frame(vantage, std::move(frame));
+  }
+  if (blocked_by_gap) {
+    ++status.gap_attempts;
+  }
+}
+
+void FleetCollector::fence(std::uint64_t vantage) {
+  VantageStatus& status = vantages_[vantage];
+  status.fenced = true;
+  // Salvage everything reachable: gaps will never fill now, so skip them
+  // all and accept whatever state the stuck frames carry.
+  drain_pending(vantage);
+  if (status.state == VantageState::kComplete) return;
+  status.state = status.frames_accepted > 0 ? VantageState::kStale
+                                            : VantageState::kMissing;
+}
+
+bool FleetCollector::poll() {
+  ++polls_;
+  bool any_progress = false;
+  for (const auto& entry : scan_spool(config_.spool_dir)) {
+    if (seen_files_.contains(entry.path)) continue;
+    ingest_file(entry);
+  }
+  for (std::uint64_t v = 0; v < config_.vantages; ++v) {
+    VantageStatus& status = vantages_[v];
+    if (status.state == VantageState::kComplete || status.fenced) continue;
+    const std::uint64_t before_accepted = status.frames_accepted;
+    const std::uint64_t before_sequence = status.next_sequence;
+    drain_pending(v);
+    const bool progress = status.frames_accepted != before_accepted ||
+                          status.next_sequence != before_sequence;
+    any_progress = any_progress || progress;
+    if (progress) {
+      status.attempts_without_progress = 0;
+    } else if (++status.attempts_without_progress >=
+               config_.fence_after_attempts) {
+      fence(v);
+    }
+  }
+  return any_progress;
+}
+
+bool FleetCollector::resolved() const {
+  for (const auto& status : vantages_) {
+    if (status.state != VantageState::kComplete && !status.fenced) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FleetCollector::finalize() {
+  for (std::uint64_t v = 0; v < config_.vantages; ++v) {
+    if (vantages_[v].state != VantageState::kComplete &&
+        !vantages_[v].fenced) {
+      fence(v);
+    }
+  }
+}
+
+std::uint64_t FleetCollector::run() {
+  std::uint64_t attempt = 0;
+  while (!resolved() && attempt < config_.max_attempts) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(config_.retry.delay_ns(attempt)));
+    }
+    poll();
+    ++attempt;
+  }
+  finalize();
+  return attempt;
+}
+
+std::string FleetCollector::report_text() const {
+  std::string out;
+  out.reserve(4096);
+  const auto line = [&out](const std::string& name, std::uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  const auto vline = [&out](const std::string& name,
+                            const std::string& vantage,
+                            std::uint64_t value) {
+    out += name;
+    out += "{vantage=\"";
+    out += vantage;
+    out += "\"} ";
+    out += std::to_string(value);
+    out += '\n';
+  };
+
+  std::uint64_t complete = 0;
+  std::uint64_t live = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t frames_missing = 0;
+  core::DartStats totals;
+  std::uint64_t total_routed = 0;
+  std::uint64_t total_lost_to_vantage = 0;
+  for (const auto& status : vantages_) {
+    switch (status.state) {
+      case VantageState::kComplete:
+        ++complete;
+        break;
+      case VantageState::kLive:
+        ++live;
+        break;
+      case VantageState::kStale:
+        ++stale;
+        break;
+      case VantageState::kMissing:
+        ++missing;
+        break;
+    }
+    accepted += status.frames_accepted;
+    quarantined += status.frames_quarantined;
+    frames_missing += status.frames_missing;
+    totals += status.stats;
+    total_routed +=
+        status.has_manifest ? status.info.expected_routed : status.cursor;
+    total_lost_to_vantage += status.lost_to_vantage();
+  }
+  // Files quarantined before any vantage could be charged (unknown ids).
+  quarantined +=
+      quarantine_counts_[static_cast<std::size_t>(
+          QuarantineReason::kUnknownVantage)];
+
+  out += "# Dart fleet merged report v1\n";
+  line("fleet_vantages", vantages_.size());
+  line("fleet_vantages_complete", complete);
+  line("fleet_vantages_live", live);
+  line("fleet_vantages_stale", stale);
+  line("fleet_vantages_missing", missing);
+  line("fleet_frames_accepted_total", accepted);
+  line("fleet_frames_quarantined_total", quarantined);
+  line("fleet_frames_missing_total", frames_missing);
+  for (std::size_t r = 0; r < kQuarantineReasons; ++r) {
+    out += "fleet_frames_quarantined_total{reason=\"";
+    out += to_string(static_cast<QuarantineReason>(r));
+    out += "\"} ";
+    out += std::to_string(quarantine_counts_[r]);
+    out += '\n';
+  }
+  for (const auto& status : vantages_) {
+    const std::string& name = status.info.name;
+    vline("fleet_vantage_state", name,
+          static_cast<std::uint64_t>(status.state));
+    vline("fleet_routed_total", name,
+          status.has_manifest ? status.info.expected_routed : status.cursor);
+    vline("fleet_observed_cursor", name, status.cursor);
+    vline("fleet_processed_total", name, status.stats.packets_processed);
+    vline("fleet_shed_total", name, status.stats.runtime.shed_packets);
+    vline("fleet_abandoned_total", name,
+          status.stats.runtime.abandoned_packets);
+    vline("fleet_lost_to_crash_total", name,
+          status.stats.runtime.lost_to_crash);
+    vline("fleet_lost_to_vantage_total", name, status.lost_to_vantage());
+    vline("fleet_samples_total", name, status.stats.samples);
+    vline("fleet_recirculations_total", name, status.stats.recirculations);
+    vline("fleet_last_epoch", name, status.last_epoch);
+    vline("fleet_frames_accepted_total", name, status.frames_accepted);
+    vline("fleet_frames_quarantined_total", name, status.frames_quarantined);
+    vline("fleet_frames_missing_total", name, status.frames_missing);
+  }
+  line("fleet_routed_total", total_routed);
+  line("fleet_processed_total", totals.packets_processed);
+  line("fleet_shed_total", totals.runtime.shed_packets);
+  line("fleet_abandoned_total", totals.runtime.abandoned_packets);
+  line("fleet_lost_to_crash_total", totals.runtime.lost_to_crash);
+  line("fleet_lost_to_vantage_total", total_lost_to_vantage);
+  line("fleet_samples_total", totals.samples);
+  line("fleet_recirculations_total", totals.recirculations);
+  return out;
+}
+
+bool check_fleet_identity(const std::string& report_text,
+                          std::string* error) {
+  const auto samples = telemetry::parse_prometheus(report_text);
+  const auto set_error = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  std::vector<std::string> names;
+  for (const auto& sample : samples) {
+    if (sample.name != "fleet_vantage_state") continue;
+    auto it = sample.labels.find("vantage");
+    if (it != sample.labels.end()) names.push_back(it->second);
+  }
+  if (names.empty()) {
+    return set_error("no fleet_vantage_state samples found");
+  }
+
+  std::uint64_t sum_routed = 0;
+  std::uint64_t sum_accounted = 0;
+  for (const auto& name : names) {
+    const std::uint64_t routed =
+        as_count(labeled_value(samples, "fleet_routed_total", name));
+    const std::uint64_t accounted =
+        as_count(labeled_value(samples, "fleet_processed_total", name)) +
+        as_count(labeled_value(samples, "fleet_shed_total", name)) +
+        as_count(labeled_value(samples, "fleet_abandoned_total", name)) +
+        as_count(labeled_value(samples, "fleet_lost_to_crash_total", name)) +
+        as_count(
+            labeled_value(samples, "fleet_lost_to_vantage_total", name));
+    if (routed != accounted) {
+      return set_error("identity violated for vantage \"" + name +
+                       "\": accounted " + std::to_string(accounted) +
+                       " != routed " + std::to_string(routed));
+    }
+    sum_routed += routed;
+    sum_accounted += accounted;
+  }
+  const std::uint64_t agg_routed =
+      as_count(telemetry::prom_value(samples, "fleet_routed_total"));
+  const std::uint64_t agg_accounted =
+      as_count(telemetry::prom_value(samples, "fleet_processed_total")) +
+      as_count(telemetry::prom_value(samples, "fleet_shed_total")) +
+      as_count(telemetry::prom_value(samples, "fleet_abandoned_total")) +
+      as_count(
+          telemetry::prom_value(samples, "fleet_lost_to_crash_total")) +
+      as_count(
+          telemetry::prom_value(samples, "fleet_lost_to_vantage_total"));
+  if (agg_routed != agg_accounted) {
+    return set_error("aggregate identity violated: accounted " +
+                     std::to_string(agg_accounted) + " != routed " +
+                     std::to_string(agg_routed));
+  }
+  if (agg_routed != sum_routed || agg_accounted != sum_accounted) {
+    return set_error("aggregate rows disagree with per-vantage sums");
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace dart::fleet

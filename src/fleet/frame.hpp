@@ -1,0 +1,143 @@
+// Fleet snapshot frames: the cross-process wire format of the vantage
+// exporter (the checkpoint subsystem's envelope discipline, one level up).
+//
+// A frame is one self-validating publication from one vantage process:
+//
+//   offset  0  magic "DFRM"
+//   offset  4  u32 format version (kFrameVersion)
+//   offset  8  u32 CRC-32 (IEEE) over every byte from offset 12 to the end
+//   offset 12  u64 vantage id
+//   offset 20  u64 sequence   — per-vantage frame number (manifest is 0)
+//   offset 28  u64 epoch      — the barrier that cut the enclosed state
+//   offset 36  u64 cursor     — vantage packets covered at that barrier
+//   offset 44  u32 frame kind (FrameKind)
+//   offset 48  u32 section count
+//   then per section: u32 section id, u64 payload length, payload bytes.
+//
+// All integers are little-endian. State-bearing frames (kEpoch / kFinal)
+// carry *cumulative* counters: each one supersedes its predecessors, so a
+// collector that loses frame k and accepts frame k+1 has lost nothing.
+// The manifest (sequence 0) declares what the vantage will route in total —
+// the collector's denominator for exact loss-window accounting when the
+// vantage dies mid-run.
+//
+// Like checkpoints, frames parse into staging state and are accepted whole
+// or quarantined whole: a damaged frame never half-updates the collector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+
+namespace dart::fleet {
+
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 52;
+inline constexpr std::size_t kFrameCrcOffset = 8;
+/// First byte covered by the CRC (everything before identifies the format).
+inline constexpr std::size_t kFrameCrcStart = 12;
+
+enum class FrameKind : std::uint32_t {
+  kManifest = 1,   ///< sequence 0: vantage name + expected totals
+  kEpoch = 2,      ///< cumulative state at an epoch barrier
+  kHeartbeat = 3,  ///< liveness/progress only (no state sections)
+  kFinal = 4,      ///< last cumulative state; the vantage is complete
+};
+
+/// Section ids inside a frame. Version-1 readers reject unknown ids
+/// (strict framing, as in the checkpoint format).
+enum class FrameSection : std::uint32_t {
+  kVantageInfo = 1,  ///< manifest body (name + expected totals)
+  kCheckpoint = 2,   ///< a complete DCKP CheckpointImage, verbatim
+  kTelemetry = 3,    ///< deterministic Prometheus text snapshot
+};
+
+enum class FrameErrorCode : std::uint8_t {
+  kNone = 0,
+  kTruncated,         ///< fewer bytes than the header/frame promises
+  kBadMagic,          ///< not a fleet frame
+  kBadVersion,        ///< format version this reader does not speak
+  kCrcMismatch,       ///< integrity check failed (torn write or corruption)
+  kBadSectionHeader,  ///< section frame inconsistent with the byte count
+  kDuplicateSection,  ///< the same section id appears twice
+  kBadKind,           ///< frame kind outside the known set
+  kBadFieldValue,     ///< a field decodes to an impossible value
+  kTrailingBytes,     ///< bytes after the last declared section
+  kIoError,           ///< file read/write failed
+};
+
+const char* to_string(FrameErrorCode code);
+
+/// Typed frame diagnostic: what went wrong and the byte offset of the
+/// damage (0 when meaningless, e.g. kIoError).
+struct FrameError {
+  FrameErrorCode code = FrameErrorCode::kNone;
+  std::uint64_t offset = 0;
+
+  explicit operator bool() const { return code != FrameErrorCode::kNone; }
+  std::string to_string() const;
+
+  static FrameError ok() { return {}; }
+  static FrameError at(FrameErrorCode code, std::uint64_t offset) {
+    return FrameError{code, offset};
+  }
+};
+
+/// Fixed per-frame header fields (everything between the CRC and the
+/// section table).
+struct FrameHeader {
+  std::uint64_t vantage = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t cursor = 0;
+  FrameKind kind = FrameKind::kEpoch;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+/// Manifest body: what the vantage promises to deliver. The collector uses
+/// `expected_routed` as the routed denominator of the extended identity —
+/// it is known before the first packet is processed (the workload slice is
+/// deterministic), so a vantage that dies still has an exact loss window.
+struct VantageInfo {
+  std::string name;
+  std::uint64_t expected_routed = 0;
+  std::uint64_t planned_epochs = 0;
+  std::uint64_t epoch_interval = 0;  ///< packets per epoch barrier
+
+  friend bool operator==(const VantageInfo&, const VantageInfo&) = default;
+};
+
+/// A fully decoded frame (or one staged for encoding). Optional sections
+/// are flagged: a heartbeat has neither checkpoint nor telemetry; an epoch
+/// frame from a single-monitor vantage has both.
+struct SnapshotFrame {
+  FrameHeader header;
+  bool has_info = false;
+  VantageInfo info;
+  bool has_checkpoint = false;
+  core::CheckpointImage checkpoint;
+  bool has_telemetry = false;
+  std::string telemetry;
+};
+
+/// Serialize a frame: header, sections present, CRC seal. Infallible.
+std::vector<std::uint8_t> encode_frame(const SnapshotFrame& frame);
+
+/// Parse and validate one frame. Returns the first damage found; on any
+/// error `out` may be partially filled and must be discarded.
+FrameError decode_frame(std::span<const std::uint8_t> bytes,
+                        SnapshotFrame* out);
+
+/// Recompute and store the CRC (requires a complete header) — for tests
+/// and tools that deliberately edit frame bytes.
+void reseal_frame(std::vector<std::uint8_t>& bytes);
+
+/// Read a whole spool file (kIoError on failure; no parsing).
+FrameError load_frame_file(const std::string& path,
+                           std::vector<std::uint8_t>* bytes);
+
+}  // namespace dart::fleet

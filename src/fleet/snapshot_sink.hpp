@@ -1,0 +1,86 @@
+// SnapshotSink: where a vantage exporter publishes its frames.
+//
+// The sink sees opaque sealed frame bytes plus the (vantage, publish slot)
+// pair that orders arrivals. The *publish index* is deliberately distinct
+// from the frame's internal sequence number: faults (and real networks)
+// deliver frames out of order or twice, and the collector must recover the
+// logical sequence from the sealed header, never from arrival order. A
+// spool-directory sink is provided (atomic publish via tmp+rename, so a
+// concurrent collector never reads a torn frame); a socket transport slots
+// in behind the same interface.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dart::fleet {
+
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// Publish one sealed frame. `publish_index` is the sink-visible arrival
+  /// slot, strictly monotonic per vantage (a duplicated frame occupies two
+  /// slots). Returns false on transport failure.
+  virtual bool publish(std::uint64_t vantage, std::uint64_t publish_index,
+                      std::span<const std::uint8_t> bytes) = 0;
+};
+
+/// Publishes each frame as one file in a spool directory, named
+/// v<vantage>-p<publish_index>.dfrm (zero-padded so lexicographic order is
+/// arrival order). Files appear atomically: the bytes go to a temp file
+/// first and are renamed into place, the write_atomic discipline.
+class SpoolSink final : public SnapshotSink {
+ public:
+  explicit SpoolSink(std::string directory);
+
+  bool publish(std::uint64_t vantage, std::uint64_t publish_index,
+               std::span<const std::uint8_t> bytes) override;
+
+  const std::string& directory() const { return directory_; }
+
+  /// The spool filename for a (vantage, publish slot) pair.
+  static std::string file_name(std::uint64_t vantage,
+                               std::uint64_t publish_index);
+
+ private:
+  std::string directory_;
+};
+
+/// Test sink: keeps every published frame in memory, in arrival order.
+class MemorySink final : public SnapshotSink {
+ public:
+  struct Entry {
+    std::uint64_t vantage = 0;
+    std::uint64_t publish_index = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  bool publish(std::uint64_t vantage, std::uint64_t publish_index,
+               std::span<const std::uint8_t> bytes) override {
+    entries_.push_back(
+        Entry{vantage, publish_index, {bytes.begin(), bytes.end()}});
+    return true;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// One spool file the collector has discovered (not yet parsed).
+struct SpoolEntry {
+  std::string path;
+  std::uint64_t vantage = 0;
+  std::uint64_t publish_index = 0;
+};
+
+/// Enumerate the spool: every *.dfrm file whose name parses, sorted by
+/// (vantage, publish index). Temp files and foreign names are ignored, so
+/// a scan concurrent with publishes only ever sees complete frames.
+std::vector<SpoolEntry> scan_spool(const std::string& directory);
+
+}  // namespace dart::fleet

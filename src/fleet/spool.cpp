@@ -1,0 +1,70 @@
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "fleet/snapshot_sink.hpp"
+#include "telemetry/export.hpp"
+
+namespace dart::fleet {
+
+SpoolSink::SpoolSink(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string SpoolSink::file_name(std::uint64_t vantage,
+                                 std::uint64_t publish_index) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "v%06" PRIu64 "-p%010" PRIu64 ".dfrm",
+                vantage, publish_index);
+  return name;
+}
+
+bool SpoolSink::publish(std::uint64_t vantage, std::uint64_t publish_index,
+                        std::span<const std::uint8_t> bytes) {
+  const std::string path =
+      directory_ + "/" + file_name(vantage, publish_index);
+  // write_atomic publishes via tmp + rename, so a collector scanning the
+  // spool never observes a torn frame — only absent or whole.
+  return telemetry::write_atomic(
+      path,
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+std::vector<SpoolEntry> scan_spool(const std::string& directory) {
+  std::vector<SpoolEntry> entries;
+  std::error_code ec;
+  // A missing directory constructs the end iterator: an empty scan, not an
+  // error — the exporter may simply not have published yet.
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string name = dirent.path().filename().string();
+    if (!name.ends_with(".dfrm")) continue;
+    std::uint64_t vantage = 0;
+    std::uint64_t publish_index = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "v%" SCNu64 "-p%" SCNu64 "%n", &vantage,
+                    &publish_index, &consumed) != 2 ||
+        name.compare(static_cast<std::size_t>(consumed),
+                     std::string::npos, ".dfrm") != 0) {
+      continue;
+    }
+    entries.push_back(SpoolEntry{dirent.path().string(), vantage,
+                                 publish_index});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SpoolEntry& a, const SpoolEntry& b) {
+              if (a.vantage != b.vantage) return a.vantage < b.vantage;
+              if (a.publish_index != b.publish_index) {
+                return a.publish_index < b.publish_index;
+              }
+              return a.path < b.path;
+            });
+  return entries;
+}
+
+}  // namespace dart::fleet

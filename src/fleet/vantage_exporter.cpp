@@ -1,0 +1,167 @@
+#include "fleet/vantage_exporter.hpp"
+
+#include <utility>
+
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/runtime_metrics.hpp"
+
+#if defined(DART_FAULT_INJECTION)
+#include "runtime/fault_injection.hpp"
+#endif
+
+namespace dart::fleet {
+
+VantageExporter::VantageExporter(VantageExporterConfig config,
+                                 SnapshotSink& sink)
+    : config_(std::move(config)), sink_(sink) {
+  if (config_.name.empty()) {
+    config_.name = "v" + std::to_string(config_.vantage);
+  }
+}
+
+bool VantageExporter::publish_manifest() {
+  SnapshotFrame frame;
+  frame.header.vantage = config_.vantage;
+  frame.header.kind = FrameKind::kManifest;
+  frame.has_info = true;
+  frame.info.name = config_.name;
+  frame.info.expected_routed = config_.expected_routed;
+  frame.info.planned_epochs = config_.planned_epochs;
+  frame.info.epoch_interval = config_.epoch_interval;
+  return publish_frame(std::move(frame));
+}
+
+bool VantageExporter::publish_epoch(std::uint64_t epoch, std::uint64_t cursor,
+                                    const core::CheckpointImage* checkpoint,
+                                    std::string telemetry) {
+  SnapshotFrame frame;
+  frame.header.vantage = config_.vantage;
+  frame.header.epoch = epoch;
+  frame.header.cursor = cursor;
+  frame.header.kind = FrameKind::kEpoch;
+  if (checkpoint != nullptr) {
+    frame.has_checkpoint = true;
+    frame.checkpoint = *checkpoint;
+  }
+  frame.has_telemetry = true;
+  frame.telemetry = std::move(telemetry);
+  return publish_frame(std::move(frame));
+}
+
+bool VantageExporter::publish_heartbeat(std::uint64_t epoch,
+                                        std::uint64_t cursor) {
+  SnapshotFrame frame;
+  frame.header.vantage = config_.vantage;
+  frame.header.epoch = epoch;
+  frame.header.cursor = cursor;
+  frame.header.kind = FrameKind::kHeartbeat;
+  return publish_frame(std::move(frame));
+}
+
+bool VantageExporter::publish_final(std::uint64_t epoch, std::uint64_t cursor,
+                                    const core::CheckpointImage* checkpoint,
+                                    std::string telemetry) {
+  SnapshotFrame frame;
+  frame.header.vantage = config_.vantage;
+  frame.header.epoch = epoch;
+  frame.header.cursor = cursor;
+  frame.header.kind = FrameKind::kFinal;
+  if (checkpoint != nullptr) {
+    frame.has_checkpoint = true;
+    frame.checkpoint = *checkpoint;
+  }
+  frame.has_telemetry = true;
+  frame.telemetry = std::move(telemetry);
+  return publish_frame(std::move(frame));
+}
+
+bool VantageExporter::publish_frame(SnapshotFrame frame) {
+  if (killed_) return false;
+  frame.header.sequence = next_sequence_;
+
+#if defined(DART_FAULT_INJECTION)
+  if (faults_ != nullptr) {
+    if (faults_->exporter_before_publish(frames_published_) ==
+        runtime::FaultPlan::Action::kExit) {
+      // A kill fault models a crash *before* this frame left the process:
+      // the sequence number is never consumed and nothing is delivered.
+      killed_ = true;
+      return false;
+    }
+  }
+#endif
+
+  const std::uint64_t sequence = next_sequence_++;
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+
+#if defined(DART_FAULT_INJECTION)
+  if (faults_ != nullptr) {
+    std::uint64_t keep_bytes = 0;
+    if (faults_->exporter_truncate_bytes(sequence, &keep_bytes)) {
+      // A torn publish: the sealed frame loses its tail. The CRC (or the
+      // header length checks) must catch this on the collector side.
+      if (keep_bytes < bytes.size()) {
+        bytes.resize(static_cast<std::size_t>(keep_bytes));
+      }
+    }
+    if (faults_->exporter_hold_frame(sequence)) {
+      // Reorder: hold this frame back; it is delivered right after its
+      // successor, so the collector sees sequence order s+1, s.
+      held_ = HeldFrame{std::move(bytes), sequence};
+      ++frames_published_;
+      return true;
+    }
+  }
+#endif
+
+  if (!deliver(std::move(bytes), sequence)) {
+    killed_ = true;
+    return false;
+  }
+  ++frames_published_;
+  if (held_.has_value()) {
+    HeldFrame late = std::move(*held_);
+    held_.reset();
+    if (!deliver(std::move(late.bytes), late.sequence)) {
+      killed_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VantageExporter::deliver(std::vector<std::uint8_t> bytes,
+                              std::uint64_t sequence) {
+  if (!sink_.publish(config_.vantage, publish_index_++, bytes)) {
+    return false;
+  }
+#if defined(DART_FAULT_INJECTION)
+  if (faults_ != nullptr && faults_->exporter_duplicate_frame(sequence)) {
+    // Duplicate delivery occupies its own publish slot; the collector must
+    // quarantine the second copy by sequence number, not crash.
+    if (!sink_.publish(config_.vantage, publish_index_++, bytes)) {
+      return false;
+    }
+  }
+#else
+  (void)sequence;
+#endif
+  return true;
+}
+
+std::string render_vantage_telemetry(
+    std::span<const core::DartStats> per_shard,
+    std::span<const std::uint64_t> routed_per_shard) {
+  telemetry::Registry registry(per_shard.empty() ? 1 : per_shard.size());
+  telemetry::RuntimeMetrics metrics(registry);
+  for (std::size_t shard = 0; shard < per_shard.size(); ++shard) {
+    metrics.fold_authoritative(shard, routed_per_shard[shard],
+                               per_shard[shard]);
+  }
+  telemetry::SnapshotOptions options;
+  options.deterministic_only = true;
+  return telemetry::to_prometheus(registry.snapshot(options));
+}
+
+}  // namespace dart::fleet

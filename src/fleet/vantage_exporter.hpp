@@ -1,0 +1,113 @@
+// VantageExporter: one monitoring process's side of the fleet protocol.
+//
+// The exporter turns quiesce-time monitor state into the sealed,
+// sequence-numbered frame stream the collector ingests:
+//
+//   seq 0            manifest   — name + expected totals (the loss-window
+//                                 denominator, known before packet 1)
+//   seq 1..k         epoch / heartbeat frames at barrier cadence
+//   seq k+1          final      — last cumulative state, stream complete
+//
+// Epoch frames are cut at packet-count barriers (every epoch_interval
+// packets), so two vantages replaying deterministic slices publish
+// epoch-aligned state without any clock agreement. All counters in a frame
+// are cumulative: losing any non-final frame loses no accounting.
+//
+// Under DART_FAULT_INJECTION the exporter consults the process's FaultPlan
+// before every publish, which is where the chaos harness injects crashes
+// (kill), latency (stall), torn frames (truncate), duplicate delivery, and
+// reordering — all downstream of sealing, exactly as a sick transport
+// would mangle a correct sender.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "fleet/frame.hpp"
+#include "fleet/snapshot_sink.hpp"
+
+namespace dart::runtime {
+class FaultPlan;
+}  // namespace dart::runtime
+
+namespace dart::fleet {
+
+struct VantageExporterConfig {
+  std::uint64_t vantage = 0;
+  std::string name;  ///< empty -> "v<id>"
+  std::uint64_t expected_routed = 0;
+  std::uint64_t planned_epochs = 0;
+  std::uint64_t epoch_interval = 0;
+};
+
+class VantageExporter {
+ public:
+  VantageExporter(VantageExporterConfig config, SnapshotSink& sink);
+
+#if defined(DART_FAULT_INJECTION)
+  /// Install the process's fault plan (exporter-side faults only). The
+  /// plan must outlive the exporter.
+  void set_fault_plan(runtime::FaultPlan* plan) { faults_ = plan; }
+#endif
+
+  /// Frame 0. Must be the first publication.
+  bool publish_manifest();
+
+  /// Cumulative state at epoch barrier `epoch`, after `cursor` packets.
+  /// Either section may be omitted (a sharded vantage has no single
+  /// checkpoint image; a checkpoint-less deployment may send stats only).
+  bool publish_epoch(std::uint64_t epoch, std::uint64_t cursor,
+                     const core::CheckpointImage* checkpoint,
+                     std::string telemetry);
+
+  /// Progress-only liveness signal between state frames.
+  bool publish_heartbeat(std::uint64_t epoch, std::uint64_t cursor);
+
+  /// Last cumulative state; marks the stream complete.
+  bool publish_final(std::uint64_t epoch, std::uint64_t cursor,
+                     const core::CheckpointImage* checkpoint,
+                     std::string telemetry);
+
+  /// True once a kill fault (or sink failure) has fired: the process is
+  /// considered crashed and every later publish is a no-op returning false.
+  bool killed() const { return killed_; }
+
+  std::uint64_t frames_published() const { return frames_published_; }
+  const VantageExporterConfig& config() const { return config_; }
+
+ private:
+  bool publish_frame(SnapshotFrame frame);
+  bool deliver(std::vector<std::uint8_t> bytes, std::uint64_t sequence);
+
+  VantageExporterConfig config_;
+  SnapshotSink& sink_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t publish_index_ = 0;
+  std::uint64_t frames_published_ = 0;
+  bool killed_ = false;
+  /// A frame held back by a reorder fault; delivered after its successor.
+  struct HeldFrame {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t sequence = 0;
+  };
+  std::optional<HeldFrame> held_;
+#if defined(DART_FAULT_INJECTION)
+  runtime::FaultPlan* faults_ = nullptr;
+#endif
+};
+
+/// Render the deterministic telemetry text a state frame embeds: a fresh
+/// registry, the standard runtime families, one authoritative fold per
+/// shard, deterministic-only snapshot. Rebuilding from scratch per frame
+/// keeps cumulative counters exact (folds are set, not add) and works in
+/// every build configuration — the vantage does not need a live-telemetry
+/// runtime, only its merged DartStats.
+std::string render_vantage_telemetry(
+    std::span<const core::DartStats> per_shard,
+    std::span<const std::uint64_t> routed_per_shard);
+
+}  // namespace dart::fleet

@@ -47,6 +47,75 @@ FaultPlan& FaultPlan::jitter(std::uint32_t shard,
   return *this;
 }
 
+FaultPlan& FaultPlan::exporter_kill(std::uint64_t after_frames) {
+  exporter_.kill_after = after_frames;
+  return *this;
+}
+
+FaultPlan& FaultPlan::exporter_stall(std::uint64_t first_frame,
+                                     std::uint64_t frames,
+                                     std::uint64_t delay_ns) {
+  exporter_.stall_first = first_frame;
+  exporter_.stall_count = frames;
+  exporter_.stall_delay_ns = delay_ns;
+  return *this;
+}
+
+FaultPlan& FaultPlan::exporter_truncate(std::uint64_t sequence,
+                                        std::uint64_t keep_bytes) {
+  exporter_.truncate.emplace_back(sequence, keep_bytes);
+  return *this;
+}
+
+FaultPlan& FaultPlan::exporter_duplicate(std::uint64_t sequence) {
+  exporter_.duplicate.push_back(sequence);
+  return *this;
+}
+
+FaultPlan& FaultPlan::exporter_reorder(std::uint64_t sequence) {
+  exporter_.reorder.push_back(sequence);
+  return *this;
+}
+
+FaultPlan::Action FaultPlan::exporter_before_publish(
+    std::uint64_t frames_published) {
+  if (frames_published >= exporter_.kill_after) {
+    return Action::kExit;
+  }
+  if (frames_published >= exporter_.stall_first &&
+      frames_published - exporter_.stall_first < exporter_.stall_count &&
+      exporter_.stall_delay_ns > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(exporter_.stall_delay_ns));
+  }
+  return Action::kContinue;
+}
+
+bool FaultPlan::exporter_truncate_bytes(std::uint64_t sequence,
+                                        std::uint64_t* keep_bytes) const {
+  for (const auto& [seq, keep] : exporter_.truncate) {
+    if (seq == sequence) {
+      *keep_bytes = keep;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::exporter_duplicate_frame(std::uint64_t sequence) const {
+  for (const std::uint64_t seq : exporter_.duplicate) {
+    if (seq == sequence) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::exporter_hold_frame(std::uint64_t sequence) const {
+  for (const std::uint64_t seq : exporter_.reorder) {
+    if (seq == sequence) return true;
+  }
+  return false;
+}
+
 FaultPlan::Action FaultPlan::before_pop(std::uint32_t shard,
                                         std::uint64_t batches_done) {
   if (shard >= shards_.size()) return Action::kContinue;

@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/packet.hpp"
@@ -71,6 +72,51 @@ class FaultPlan {
   /// `shard`.
   FaultPlan& jitter(std::uint32_t shard, std::uint64_t max_delay_ns);
 
+  // -- Exporter-side faults (the process-level fleet chaos surface) --
+  //
+  // One vantage exporter per plan (a vantage is a whole process, so there
+  // is no shard key). All exporter faults act *downstream of sealing*: the
+  // exporter builds a correct CRC-sealed frame and the fault mangles its
+  // delivery, exactly as a crash or a sick transport would.
+
+  /// The exporter process "crashes" before publishing its
+  /// `after_frames`-th frame (0-based): that frame and everything after it
+  /// is never delivered.
+  FaultPlan& exporter_kill(std::uint64_t after_frames);
+
+  /// Sleep `delay_ns` before each of frames [first_frame, first_frame +
+  /// frames) — a lagging vantage for the collector's liveness deadline.
+  FaultPlan& exporter_stall(std::uint64_t first_frame, std::uint64_t frames,
+                            std::uint64_t delay_ns);
+
+  /// Frame `sequence` is delivered torn: only its first `keep_bytes` bytes
+  /// arrive (a crash mid-write on a non-atomic transport).
+  FaultPlan& exporter_truncate(std::uint64_t sequence,
+                               std::uint64_t keep_bytes);
+
+  /// Frame `sequence` is delivered twice (two publish slots).
+  FaultPlan& exporter_duplicate(std::uint64_t sequence);
+
+  /// Frame `sequence` is held back and delivered right after its
+  /// successor: the collector sees sequence order ..., s+1, s, ...
+  FaultPlan& exporter_reorder(std::uint64_t sequence);
+
+  /// Exporter hook: called before each publish with the number of frames
+  /// already published. kExit fires the kill fault; stall delays happen
+  /// inside this call.
+  Action exporter_before_publish(std::uint64_t frames_published);
+
+  /// Exporter hook: true if frame `sequence` must be truncated, with the
+  /// byte count to keep in `*keep_bytes`.
+  bool exporter_truncate_bytes(std::uint64_t sequence,
+                               std::uint64_t* keep_bytes) const;
+
+  /// Exporter hook: true if frame `sequence` must be delivered twice.
+  bool exporter_duplicate_frame(std::uint64_t sequence) const;
+
+  /// Exporter hook: true if frame `sequence` must be held for reordering.
+  bool exporter_hold_frame(std::uint64_t sequence) const;
+
   /// Worker hook: called before each pop attempt with the number of batches
   /// this worker has fully processed. kExit means "die now" (kill fault);
   /// the hang fault blocks inside this call.
@@ -106,6 +152,18 @@ class FaultPlan {
     Rng jitter_rng{0};
   };
 
+  /// Exporter-side fault state: one exporter per plan, mutated only while
+  /// the plan is built and read only by the (single-threaded) exporter.
+  struct ExporterFaults {
+    std::uint64_t kill_after = ~std::uint64_t{0};
+    std::uint64_t stall_first = 0;
+    std::uint64_t stall_count = 0;
+    std::uint64_t stall_delay_ns = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> truncate;
+    std::vector<std::uint64_t> duplicate;
+    std::vector<std::uint64_t> reorder;
+  };
+
   ShardFaults& shard_faults(std::uint32_t shard);
 
   // con-ok(CON005): written only while the plan is built, before any worker
@@ -114,6 +172,8 @@ class FaultPlan {
   // con-ok(CON005): sized at build time; each element is touched only by
   // the one worker owning that shard (hang_fired under hang_mutex_ aside)
   std::vector<ShardFaults> shards_;
+  // con-ok(CON005): built before the exporter runs; single-threaded reader
+  ExporterFaults exporter_;
 
   // The hang release flag is the only cross-thread channel in the plan:
   // a blocked zombie and the test thread calling release_hangs() meet here.

@@ -189,6 +189,13 @@ void ShardedMonitor::process(const PacketRecord& packet) {
   Shard& shard = *shards_[router_.route(packet.tuple)];
   shard.pending.push_back(packet);
   if (shard.pending.size() >= config_.batch_size) flush_shard(shard);
+  ++routed_total_;
+  if (config_.epoch_interval_packets != 0 && config_.on_epoch &&
+      routed_total_ % config_.epoch_interval_packets == 0) {
+    // Router-thread barrier: fires between packets, so the callback can
+    // publish fleet progress without racing the routing state.
+    config_.on_epoch(++epochs_fired_, routed_total_);
+  }
 }
 
 void ShardedMonitor::process_all(std::span<const PacketRecord> packets) {

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <thread>
@@ -90,6 +91,17 @@ struct ShardedConfig {
 
   /// How hard the router waits on a full ring before shedding the batch.
   OverloadPolicy overload;
+
+  /// Epoch hook: when nonzero, `on_epoch(epoch, routed)` fires on the
+  /// *router thread* after every `epoch_interval_packets` routed packets
+  /// (epoch counts from 1; `routed` is the total routed so far, i.e.
+  /// epoch * interval). This is the fleet exporter's barrier source: the
+  /// callback runs between process() calls, so it may inspect router-side
+  /// state and publish progress frames, but the workers have not
+  /// necessarily consumed up to the cursor yet — it is a routing barrier,
+  /// not a quiesce point. Keep the callback cheap; it stalls routing.
+  std::uint64_t epoch_interval_packets = 0;
+  std::function<void(std::uint64_t epoch, std::uint64_t routed)> on_epoch;
 
   /// How long finish() waits for a worker to exit before force-detaching
   /// it (diagnosed in RuntimeHealth::forced_detaches). After end-of-input a
@@ -213,6 +225,8 @@ class ShardedMonitor {
 
   ShardedConfig config_;
   ShardRouter router_;
+  std::uint64_t routed_total_ = 0;  ///< router-side packets, epoch clock
+  std::uint64_t epochs_fired_ = 0;
   // shared_ptr, not unique_ptr: each worker holds a reference to its own
   // Shard, so a force-detached worker that wakes up later still touches
   // live memory even after the ShardedMonitor is gone.

@@ -1,5 +1,6 @@
 #include "telemetry/export.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -191,6 +192,7 @@ std::vector<PromSample> parse_prometheus(const std::string& text) {
       sample.name = line.substr(0, space);
       value_start = space;
     }
+    if (sample.name.empty()) continue;  // "{...} v" or leading space
     while (value_start < line.size() && line[value_start] == ' ') {
       ++value_start;
     }
@@ -198,6 +200,10 @@ std::vector<PromSample> parse_prometheus(const std::string& text) {
     char* end = nullptr;
     sample.value = std::strtod(line.c_str() + value_start, &end);
     if (end == line.c_str() + value_start) continue;
+    // Our renderers never emit NaN/Inf; a non-finite value in scraped text
+    // is damage (or an adversarial feed) and would poison every aggregate
+    // it touches downstream, so drop the sample rather than propagate it.
+    if (!std::isfinite(sample.value)) continue;
     samples.push_back(std::move(sample));
   }
   return samples;

@@ -21,6 +21,9 @@
 //           locking instead of trusting it
 //   CON006  mutexes are locked through RAII scopes, never bare
 //           lock()/unlock() pairs an early return can unbalance
+//   CON007  exporter code (the fleet spool publishers) must write through
+//           telemetry::write_atomic — a raw ofstream/fopen/fwrite/rename
+//           can expose a torn frame to a concurrently scanning collector
 //
 // The checker is lexical by design: no compiler, no flags, no compile
 // database — it runs identically on every developer box and in CI, and the
@@ -74,6 +77,7 @@ struct FileClass {
   bool deterministic = false;
   bool exported = false;
   bool threads_ok = false;
+  bool exporter = false;
 };
 
 struct RuleInfo {
@@ -88,6 +92,7 @@ constexpr RuleInfo kRules[] = {
     {"CON004", "unordered-container iteration feeding exported output"},
     {"CON005", "mutex-guarded field missing DART_GUARDED_BY"},
     {"CON006", "mutex locked outside an RAII scope"},
+    {"CON007", "raw filesystem write in exporter code (use write_atomic)"},
 };
 
 // ---------------------------------------------------------------------------
@@ -573,6 +578,37 @@ void check_con006(const std::string& code,
   }
 }
 
+void check_con007(const std::string& code,
+                  const std::vector<std::size_t>& lines,
+                  const std::string& file, std::vector<Finding>& findings) {
+  // Only the write side can tear a publish: ofstream construction and
+  // fopen/fwrite/rename calls are flagged, ifstream/fread reads are not.
+  // write_atomic itself lives in src/telemetry (not exporter-classified),
+  // so its own ofstream + rename implementation stays legal.
+  static const std::regex kOfstream(
+      R"(\b(?:std\s*::\s*)?ofstream\s+[A-Za-z_]\w*\s*[({])");
+  static const std::regex kWriteCall(R"(\b(fopen|fwrite|rename)\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kOfstream), end;
+       it != end; ++it) {
+    findings.push_back(
+        {"CON007", file,
+         line_of(lines, static_cast<std::size_t>(it->position())),
+         "raw ofstream in exporter code; publish through "
+         "telemetry::write_atomic (tmp + rename) so a concurrent collector "
+         "never observes a torn frame"});
+  }
+  for (std::sregex_iterator it(code.begin(), code.end(), kWriteCall), end;
+       it != end; ++it) {
+    findings.push_back(
+        {"CON007", file,
+         line_of(lines, static_cast<std::size_t>(it->position())),
+         "raw " + (*it)[1].str() +
+             "() in exporter code; publish through telemetry::write_atomic "
+             "(tmp + rename) so a concurrent collector never observes a "
+             "torn frame"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -593,6 +629,9 @@ FileClass classify(const std::string& rel) {
   const std::string base = fs::path(rel).filename().string();
   fc.threads_ok = base.rfind("sharded_monitor.", 0) == 0 ||
                   base.rfind("shard_supervisor.", 0) == 0;
+  // Everything that publishes snapshot frames for a concurrent reader:
+  // the fleet subsystem and the dart-fleet CLI around it.
+  fc.exporter = starts("src/fleet/") || rel == "src/tools/dart_fleet.cpp";
   return fc;
 }
 
@@ -641,6 +680,7 @@ bool analyze_file(const fs::path& path, const std::string& display,
   }
   check_con005(code, lines, display, out.findings);
   check_con006(code, lines, display, out.findings);
+  if (fc.exporter) check_con007(code, lines, display, out.findings);
   return true;
 }
 
@@ -653,8 +693,8 @@ void print_usage(std::ostream& out) {
          "  file...           analyze the given files (fixture mode)\n"
          "\n"
          "Options:\n"
-         "  --treat-as CLASS  classify explicit files as\n"
-         "                    hotpath|deterministic|export|threads-ok|plain\n"
+         "  --treat-as CLASS  classify explicit files as hotpath|\n"
+         "                    deterministic|export|exporter|threads-ok|plain\n"
          "                    (default: plain; CON005/CON006 always apply)\n"
          "  --waivers FILE    load a tree waiver file in fixture mode\n"
          "  --quiet           diagnostics only, no summary line\n"
@@ -721,6 +761,8 @@ int main(int argc, char** argv) {
     fixture_class.deterministic = true;
   } else if (treat_as == "export") {
     fixture_class.exported = true;
+  } else if (treat_as == "exporter") {
+    fixture_class.exporter = true;
   } else if (treat_as == "threads-ok") {
     fixture_class.threads_ok = true;
   } else if (treat_as != "plain") {

@@ -127,6 +127,33 @@ int cmd_inspect(const std::string& path) {
   return 0;
 }
 
+/// Attribute a deep-restore failure to the framed section that contains
+/// the damaged byte. Each section owns its 12-byte framing header (u32 id
+/// + u64 length) plus its payload; offsets below the image header fall in
+/// the envelope. Best-effort: an unreadable section map prints nothing.
+void describe_failure_site(const CheckpointImage& image,
+                           const CheckpointError& err, std::ostream& out) {
+  if (err.offset == 0) return;  // offsetless errors, e.g. I/O
+  if (err.offset < dart::core::kCheckpointHeaderBytes) {
+    out << " [image header, byte " << err.offset << "]";
+    return;
+  }
+  CheckpointInfo info;
+  if (dart::core::read_info(image, &info)) return;
+  constexpr std::uint64_t kSectionFraming = 12;  // u32 id + u64 length
+  for (const CheckpointSectionInfo& section : info.sections) {
+    const std::uint64_t begin = section.offset - kSectionFraming;
+    const std::uint64_t end = section.offset + section.length;
+    if (err.offset >= begin && err.offset < end) {
+      out << " [section " << section.id << " (" << section_name(section.id)
+          << "), bytes " << begin << ".." << end << ", damage at byte "
+          << err.offset << "]";
+      return;
+    }
+  }
+  out << " [byte " << err.offset << ", outside every framed section]";
+}
+
 int cmd_verify(const std::string& path) {
   CheckpointImage image;
   if (const CheckpointError err =
@@ -135,7 +162,9 @@ int cmd_verify(const std::string& path) {
     return 1;
   }
   if (const CheckpointError err = deep_verify(image)) {
-    std::cerr << "dart-ckpt: " << path << ": " << err.to_string() << "\n";
+    std::cerr << "dart-ckpt: " << path << ": " << err.to_string();
+    describe_failure_site(image, err, std::cerr);
+    std::cerr << "\n";
     return 1;
   }
   std::cout << "OK\n";

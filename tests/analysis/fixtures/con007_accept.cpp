@@ -1,0 +1,24 @@
+// dart-analyze fixture: exporter-class code that publishes only through
+// write_atomic and reads through an ifstream. Accepted under
+// --treat-as exporter — reads cannot tear a published frame, and the
+// tmp + rename discipline lives inside write_atomic itself.
+namespace fixture {
+
+bool write_atomic(const char* path, const char* data, unsigned long size);
+
+class ifstream {
+ public:
+  explicit ifstream(const char* path);
+  bool read(char* out, unsigned long size);
+};
+
+bool publish_frame(const char* path, const char* data, unsigned long size) {
+  return write_atomic(path, data, size);
+}
+
+bool load_frame(const char* path, char* out, unsigned long size) {
+  ifstream in(path);
+  return in.read(out, size);
+}
+
+}  // namespace fixture

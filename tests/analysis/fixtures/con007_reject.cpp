@@ -1,0 +1,30 @@
+// dart-analyze fixture: exporter-class code writing the published name
+// directly — an ofstream straight onto the spool path plus a bare
+// rename() — exactly the torn-frame window telemetry::write_atomic
+// closes. Rejected (CON007 four times: ofstream, fopen, fwrite, rename).
+namespace fixture {
+
+class ofstream {
+ public:
+  explicit ofstream(const char* path);
+  void write(const char* data, unsigned long size);
+};
+
+bool publish_frame(const char* path, const char* data, unsigned long size) {
+  ofstream out(path);
+  out.write(data, size);
+  return true;
+}
+
+bool publish_via_stdio(const char* path, const char* data,
+                       unsigned long size) {
+  void* handle = fopen(path, "wb");
+  if (handle == nullptr) return false;
+  return fwrite(data, 1, size, handle) == size;
+}
+
+bool publish_then_swap(const char* tmp_path, const char* final_path) {
+  return rename(tmp_path, final_path) == 0;
+}
+
+}  // namespace fixture

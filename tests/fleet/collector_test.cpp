@@ -1,0 +1,403 @@
+// FleetCollector: quarantine ladder, sequence discipline, reorder healing,
+// liveness fencing with exact loss windows, and the deterministic merged
+// report. Every test drives the collector through a real spool directory —
+// the same surface the dart-fleet CLI and the chaos harness use.
+#include "fleet/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dart_monitor.hpp"
+#include "fleet/frame.hpp"
+#include "fleet/snapshot_sink.hpp"
+#include "fleet/vantage_exporter.hpp"
+
+namespace dart::fleet {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / ("fleet_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Telemetry text for a vantage that processed every routed packet.
+std::string clean_telemetry(std::uint64_t cursor, std::uint64_t samples) {
+  core::DartStats stats;
+  stats.packets_processed = cursor;
+  stats.samples = samples;
+  return render_vantage_telemetry(std::span(&stats, 1),
+                                  std::span(&cursor, 1));
+}
+
+VantageExporterConfig vantage_config(std::uint64_t vantage,
+                                     std::uint64_t expected) {
+  VantageExporterConfig config;
+  config.vantage = vantage;
+  config.expected_routed = expected;
+  config.planned_epochs = 2;
+  config.epoch_interval = expected / 2;
+  return config;
+}
+
+/// manifest, epoch(100), final(200) — the minimal healthy stream.
+void publish_clean_stream(SnapshotSink& sink, std::uint64_t vantage) {
+  VantageExporter exporter(vantage_config(vantage, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+}
+
+CollectorConfig offline_config(const std::string& dir,
+                               std::uint64_t vantages) {
+  CollectorConfig config;
+  config.spool_dir = dir;
+  config.vantages = vantages;
+  config.fence_after_attempts = 2;
+  config.gap_grace_attempts = 1;
+  config.max_attempts = 16;
+  config.retry.base_delay_ns = 1;  // offline: no point sleeping
+  config.retry.max_delay_ns = 1;
+  return config;
+}
+
+TEST(FleetCollector, CleanFleetResolvesComplete) {
+  const std::string dir = fresh_dir("clean");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  publish_clean_stream(sink, 1);
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.run();
+  ASSERT_TRUE(collector.resolved());
+  for (std::uint64_t v = 0; v < 2; ++v) {
+    EXPECT_EQ(collector.status(v).state, VantageState::kComplete);
+    EXPECT_EQ(collector.status(v).cursor, 200u);
+    EXPECT_EQ(collector.status(v).lost_to_vantage(), 0u);
+  }
+  EXPECT_TRUE(collector.quarantined().empty());
+
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+}
+
+TEST(FleetCollector, ReportIsByteStableAcrossCollections) {
+  const std::string dir = fresh_dir("stable");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+
+  FleetCollector first(offline_config(dir, 1));
+  first.run();
+  FleetCollector second(offline_config(dir, 1));
+  second.run();
+  EXPECT_EQ(first.report_text(), second.report_text());
+}
+
+TEST(FleetCollector, QuarantinesCorruptFrameAndStillCompletes) {
+  const std::string dir = fresh_dir("corrupt");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  // Flip a sealed byte of the epoch frame (publish slot 1) on disk.
+  const std::string victim =
+      (std::filesystem::path(dir) / SpoolSink::file_name(0, 1)).string();
+  std::vector<std::uint8_t> bytes;
+  ASSERT_FALSE(load_frame_file(victim, &bytes));
+  bytes[kFrameHeaderBytes] ^= 0x01;
+  std::ofstream(victim, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  // The damaged frame is quarantined, its sequence slot is eventually
+  // skipped, and the cumulative final frame completes the vantage anyway.
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kCrcMismatch), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).frames_missing, 1u);
+  EXPECT_EQ(collector.status(0).cursor, 200u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+}
+
+TEST(FleetCollector, QuarantinesUnknownVantage) {
+  const std::string dir = fresh_dir("unknown");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  publish_clean_stream(sink, 7);  // outside the configured fleet of 1
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kUnknownVantage), 3u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+}
+
+TEST(FleetCollector, QuarantinesDuplicateSequence) {
+  const std::string dir = fresh_dir("duplicate");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  // Redeliver the epoch frame in a fresh publish slot.
+  const auto src = std::filesystem::path(dir) / SpoolSink::file_name(0, 1);
+  const auto dup = std::filesystem::path(dir) / SpoolSink::file_name(0, 9);
+  std::filesystem::copy_file(src, dup);
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kDuplicateSequence),
+            1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).frames_missing, 0u);
+}
+
+TEST(FleetCollector, QuarantinesMisdeliveredFrame) {
+  const std::string dir = fresh_dir("misdelivered");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  // A frame sealed by vantage 0 lands in vantage 1's spool slot.
+  const auto src = std::filesystem::path(dir) / SpoolSink::file_name(0, 0);
+  const auto dst = std::filesystem::path(dir) / SpoolSink::file_name(1, 0);
+  std::filesystem::copy_file(src, dst);
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kBadFrame), 1u);
+  EXPECT_EQ(collector.status(1).state, VantageState::kMissing);
+}
+
+TEST(FleetCollector, QuarantinesStaleEpoch) {
+  const std::string dir = fresh_dir("stale_epoch");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 300), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+  // Epoch goes backwards relative to accepted state: must be quarantined,
+  // not silently rewind the loss cursor.
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(3, 300, nullptr,
+                                     clean_telemetry(300, 30)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kStaleEpoch), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).cursor, 300u);
+}
+
+TEST(FleetCollector, QuarantinesTelemetryCursorMismatch) {
+  const std::string dir = fresh_dir("stats_mismatch");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  // Telemetry claims 150 routed but the envelope cursor says 100.
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(150, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kStatsMismatch), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+}
+
+TEST(FleetCollector, QuarantinesCorruptEmbeddedCheckpoint) {
+  const std::string dir = fresh_dir("bad_ckpt");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  core::CheckpointImage garbage;
+  garbage.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, &garbage,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kBadCheckpoint), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+}
+
+TEST(FleetCollector, AcceptsConsistentEmbeddedCheckpoint) {
+  const std::string dir = fresh_dir("good_ckpt");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 0), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  // A real monitor image whose counters agree with the telemetry text.
+  const core::DartMonitor monitor((core::DartConfig()));
+  const core::CheckpointImage image =
+      monitor.snapshot(core::SnapshotMeta{1, 0, 0});
+  ASSERT_TRUE(exporter.publish_final(1, 0, &image, clean_telemetry(0, 0)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_TRUE(collector.quarantined().empty());
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+}
+
+TEST(FleetCollector, FencesKilledVantageWithExactLossWindow) {
+  const std::string dir = fresh_dir("killed");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  // Vantage 1 dies after one epoch: manifest promises 500, state covers 100.
+  VantageExporter exporter(vantage_config(1, 500), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.run();
+  const VantageStatus& dead = collector.status(1);
+  EXPECT_EQ(dead.state, VantageState::kStale);
+  EXPECT_EQ(dead.cursor, 100u);
+  EXPECT_EQ(dead.lost_to_vantage(), 400u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+  EXPECT_NE(collector.report_text().find(
+                "fleet_lost_to_vantage_total{vantage=\"v1\"} 400"),
+            std::string::npos);
+}
+
+TEST(FleetCollector, HeartbeatProgressNeverMovesTheLossCursor) {
+  const std::string dir = fresh_dir("heartbeat");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 500), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  // A heartbeat claims progress to 400 — but it carries no counters, so
+  // the loss window must still be measured from the last *state* frame.
+  ASSERT_TRUE(exporter.publish_heartbeat(2, 400));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.status(0).state, VantageState::kStale);
+  EXPECT_EQ(collector.status(0).cursor, 100u);
+  EXPECT_EQ(collector.status(0).lost_to_vantage(), 400u);
+}
+
+TEST(FleetCollector, SilentVantageFencesMissing) {
+  const std::string dir = fresh_dir("missing");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.run();
+  EXPECT_EQ(collector.status(1).state, VantageState::kMissing);
+  // No manifest -> no denominator: the identity holds trivially rather
+  // than inventing a loss number.
+  EXPECT_EQ(collector.status(1).lost_to_vantage(), 0u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+  EXPECT_NE(collector.report_text().find("fleet_vantages_missing 1"),
+            std::string::npos);
+}
+
+TEST(FleetCollector, GapHealsWhenReorderedFrameArrivesInGrace) {
+  const std::string dir = fresh_dir("reorder_heal");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+  // Hide the epoch frame: the collector sees sequences 0 and 2 first.
+  const auto held = std::filesystem::path(dir) / SpoolSink::file_name(0, 1);
+  const auto aside = std::filesystem::path(dir) / "held.aside";
+  std::filesystem::rename(held, aside);
+
+  CollectorConfig config = offline_config(dir, 1);
+  config.gap_grace_attempts = 4;
+  FleetCollector collector(config);
+  collector.poll();
+  EXPECT_EQ(collector.status(0).next_sequence, 1u);  // gap held open
+  EXPECT_EQ(collector.status(0).frames_missing, 0u);
+
+  std::filesystem::rename(aside, held);  // the late frame lands
+  collector.poll();
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).frames_missing, 0u);
+  EXPECT_EQ(collector.status(0).frames_accepted, 3u);
+}
+
+TEST(FleetCollector, GapSkipsAfterGraceCountingMissing) {
+  const std::string dir = fresh_dir("gap_skip");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+  std::filesystem::remove(std::filesystem::path(dir) /
+                          SpoolSink::file_name(0, 1));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).frames_missing, 1u);
+  EXPECT_EQ(collector.status(0).cursor, 200u);  // cumulative: no loss
+  EXPECT_EQ(collector.status(0).lost_to_vantage(), 0u);
+}
+
+TEST(FleetCollector, EmptySpoolDirectoryIsMissingFleetNotACrash) {
+  const std::string dir = fresh_dir("empty");
+  FleetCollector collector(offline_config(dir, 3));
+  collector.run();
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(collector.status(v).state, VantageState::kMissing);
+  }
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+}
+
+TEST(FleetRetryPolicy, DeterministicBoundedJitteredSchedule) {
+  RetryPolicy policy;
+  policy.base_delay_ns = 1'000'000;
+  policy.max_delay_ns = 64'000'000;
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    const std::uint64_t delay = policy.delay_ns(attempt);
+    EXPECT_EQ(delay, policy.delay_ns(attempt));  // pure in (policy, attempt)
+    EXPECT_GE(delay, 1u);
+    EXPECT_LE(delay, policy.max_delay_ns);
+  }
+  // The backoff actually grows before the cap...
+  EXPECT_GT(policy.delay_ns(4), policy.delay_ns(0));
+  // ...and jitter decorrelates consecutive attempts at the cap.
+  EXPECT_NE(policy.delay_ns(30), policy.delay_ns(31));
+  // A different seed yields a different schedule.
+  RetryPolicy reseeded = policy;
+  reseeded.seed ^= 0xABCD;
+  EXPECT_NE(reseeded.delay_ns(3), policy.delay_ns(3));
+}
+
+TEST(FleetIdentity, RejectsTamperedReport) {
+  const std::string dir = fresh_dir("tamper");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  std::string report = collector.report_text();
+  const std::string honest = "fleet_processed_total{vantage=\"v0\"} 200";
+  const auto at = report.find(honest);
+  ASSERT_NE(at, std::string::npos);
+  report.replace(at, honest.size(),
+                 "fleet_processed_total{vantage=\"v0\"} 199");
+  std::string error;
+  EXPECT_FALSE(check_fleet_identity(report, &error));
+  EXPECT_NE(error.find("v0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dart::fleet

@@ -1,0 +1,189 @@
+// VantageExporter: sequence discipline, publish-slot accounting, telemetry
+// rendering, and (in fault-injection builds) the exact delivery shapes each
+// exporter-side fault produces — the collector's test vectors come from
+// here, so the shapes must be pinned.
+#include "fleet/vantage_exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/frame.hpp"
+#include "fleet/snapshot_sink.hpp"
+#include "telemetry/export.hpp"
+
+#if defined(DART_FAULT_INJECTION)
+#include "runtime/fault_injection.hpp"
+#endif
+
+namespace dart::fleet {
+namespace {
+
+VantageExporterConfig small_config() {
+  VantageExporterConfig config;
+  config.vantage = 3;
+  config.name = "campus-3";
+  config.expected_routed = 400;
+  config.planned_epochs = 2;
+  config.epoch_interval = 200;
+  return config;
+}
+
+SnapshotFrame decode_entry(const MemorySink::Entry& entry) {
+  SnapshotFrame frame;
+  const FrameError err = decode_frame(entry.bytes, &frame);
+  EXPECT_FALSE(err) << err.to_string();
+  return frame;
+}
+
+TEST(VantageExporter, PublishesSequencedStream) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "dart_x 1\n"));
+  EXPECT_TRUE(exporter.publish_heartbeat(1, 300));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "dart_x 2\n"));
+  EXPECT_FALSE(exporter.killed());
+  EXPECT_EQ(exporter.frames_published(), 4u);
+
+  ASSERT_EQ(sink.entries().size(), 4u);
+  const FrameKind kinds[] = {FrameKind::kManifest, FrameKind::kEpoch,
+                             FrameKind::kHeartbeat, FrameKind::kFinal};
+  for (std::size_t i = 0; i < sink.entries().size(); ++i) {
+    EXPECT_EQ(sink.entries()[i].vantage, 3u);
+    EXPECT_EQ(sink.entries()[i].publish_index, i);
+    const SnapshotFrame frame = decode_entry(sink.entries()[i]);
+    EXPECT_EQ(frame.header.vantage, 3u);
+    EXPECT_EQ(frame.header.sequence, i);
+    EXPECT_EQ(frame.header.kind, kinds[i]);
+  }
+
+  const SnapshotFrame manifest = decode_entry(sink.entries()[0]);
+  ASSERT_TRUE(manifest.has_info);
+  EXPECT_EQ(manifest.info.name, "campus-3");
+  EXPECT_EQ(manifest.info.expected_routed, 400u);
+}
+
+TEST(VantageExporter, DefaultsNameFromVantageId) {
+  MemorySink sink;
+  VantageExporterConfig config;
+  config.vantage = 9;
+  VantageExporter exporter(config, sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  EXPECT_EQ(decode_entry(sink.entries()[0]).info.name, "v9");
+}
+
+TEST(VantageExporter, RendersIdentityConsistentTelemetry) {
+  core::DartStats stats;
+  stats.packets_processed = 950;
+  stats.samples = 120;
+  stats.runtime.shed_packets = 50;
+  const std::uint64_t routed = 1000;
+  const std::string text =
+      render_vantage_telemetry(std::span(&stats, 1), std::span(&routed, 1));
+
+  const auto samples = telemetry::parse_prometheus(text);
+  EXPECT_EQ(telemetry::prom_value(samples, "dart_routed_total"), 1000.0);
+  EXPECT_EQ(telemetry::prom_value(samples, "dart_processed_total"), 950.0);
+  EXPECT_EQ(telemetry::prom_value(samples, "dart_shed_total"), 50.0);
+  EXPECT_EQ(telemetry::prom_value(samples, "dart_samples_total"), 120.0);
+}
+
+#if defined(DART_FAULT_INJECTION)
+
+TEST(VantageExporterFaults, KillStopsTheStreamBeforeTheFrame) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_kill(2);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_FALSE(exporter.publish_epoch(2, 400, nullptr, "x 2\n"));
+  EXPECT_TRUE(exporter.killed());
+  // Once dead, everything is a no-op — like the process it models.
+  EXPECT_FALSE(exporter.publish_final(3, 400, nullptr, "x 3\n"));
+  ASSERT_EQ(sink.entries().size(), 2u);
+  EXPECT_EQ(decode_entry(sink.entries().back()).header.sequence, 1u);
+}
+
+TEST(VantageExporterFaults, TruncateTearsExactlyOneFrame) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_truncate(1, 40);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  ASSERT_EQ(sink.entries().size(), 3u);
+  EXPECT_EQ(sink.entries()[1].bytes.size(), 40u);
+  SnapshotFrame torn;
+  EXPECT_EQ(decode_frame(sink.entries()[1].bytes, &torn).code,
+            FrameErrorCode::kTruncated);
+  EXPECT_FALSE(decode_frame(sink.entries()[2].bytes, &torn));
+}
+
+TEST(VantageExporterFaults, DuplicateOccupiesTwoPublishSlots) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_duplicate(1);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  ASSERT_EQ(sink.entries().size(), 4u);
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.sequence, 1u);
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.sequence, 1u);
+  EXPECT_EQ(sink.entries()[1].publish_index, 1u);
+  EXPECT_EQ(sink.entries()[2].publish_index, 2u);
+  EXPECT_EQ(sink.entries()[1].bytes, sink.entries()[2].bytes);
+  EXPECT_EQ(decode_entry(sink.entries()[3]).header.sequence, 2u);
+}
+
+TEST(VantageExporterFaults, ReorderDeliversAfterSuccessor) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_reorder(1);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  EXPECT_EQ(exporter.frames_published(), 3u);
+  ASSERT_EQ(sink.entries().size(), 3u);
+  // Arrival order: 0, 2, 1 — while publish slots stay monotonic.
+  EXPECT_EQ(decode_entry(sink.entries()[0]).header.sequence, 0u);
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.sequence, 2u);
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.sequence, 1u);
+  EXPECT_EQ(sink.entries()[2].publish_index, 2u);
+}
+
+TEST(VantageExporterFaults, ReorderedFrameCanAlsoDuplicate) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_reorder(1);
+  plan.exporter_duplicate(1);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  ASSERT_EQ(sink.entries().size(), 4u);
+  // The held frame keeps its own sequence through the duplicate fault:
+  // arrival order 0, 2, 1, 1.
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.sequence, 2u);
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.sequence, 1u);
+  EXPECT_EQ(decode_entry(sink.entries()[3]).header.sequence, 1u);
+}
+
+#endif  // DART_FAULT_INJECTION
+
+}  // namespace
+}  // namespace dart::fleet

@@ -1,0 +1,214 @@
+// DFRM envelope: round trips, strict validation, and adversarial damage.
+// The frame decoder is the collector's first line of defense — every
+// damaged input must come back as a typed FrameError, never a crash or a
+// partially trusted frame.
+#include "fleet/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace dart::fleet {
+namespace {
+
+SnapshotFrame sample_frame() {
+  SnapshotFrame frame;
+  frame.header.vantage = 3;
+  frame.header.sequence = 7;
+  frame.header.epoch = 2;
+  frame.header.cursor = 5000;
+  frame.header.kind = FrameKind::kEpoch;
+  frame.has_checkpoint = true;
+  frame.checkpoint.bytes = {0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03};
+  frame.has_telemetry = true;
+  frame.telemetry = "dart_routed_total 5000\ndart_processed_total 5000\n";
+  return frame;
+}
+
+void patch_u32_at(std::vector<std::uint8_t>& bytes, std::size_t offset,
+                  std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+TEST(FleetFrame, RoundTripsAllSections) {
+  SnapshotFrame frame = sample_frame();
+  frame.has_info = true;
+  frame.info.name = "campus-3";
+  frame.info.expected_routed = 20000;
+  frame.info.planned_epochs = 4;
+  frame.info.epoch_interval = 5000;
+
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  ASSERT_FALSE(err) << err.to_string();
+  EXPECT_EQ(decoded.header, frame.header);
+  ASSERT_TRUE(decoded.has_info);
+  EXPECT_EQ(decoded.info, frame.info);
+  ASSERT_TRUE(decoded.has_checkpoint);
+  EXPECT_EQ(decoded.checkpoint.bytes, frame.checkpoint.bytes);
+  ASSERT_TRUE(decoded.has_telemetry);
+  EXPECT_EQ(decoded.telemetry, frame.telemetry);
+}
+
+TEST(FleetFrame, RoundTripsSectionlessHeartbeat) {
+  SnapshotFrame frame;
+  frame.header.vantage = 1;
+  frame.header.sequence = 4;
+  frame.header.epoch = 3;
+  frame.header.cursor = 900;
+  frame.header.kind = FrameKind::kHeartbeat;
+
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  SnapshotFrame decoded;
+  ASSERT_FALSE(decode_frame(bytes, &decoded));
+  EXPECT_EQ(decoded.header, frame.header);
+  EXPECT_FALSE(decoded.has_info);
+  EXPECT_FALSE(decoded.has_checkpoint);
+  EXPECT_FALSE(decoded.has_telemetry);
+}
+
+TEST(FleetFrame, RejectsManifestWithoutInfoSection) {
+  SnapshotFrame frame;
+  frame.header.kind = FrameKind::kManifest;
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kBadFieldValue);
+}
+
+// The chaos harness's torn-write model: every strict prefix of a sealed
+// frame must be rejected with a typed error, even when the attacker
+// reseals the prefix so the CRC passes again. The deep structural checks
+// have to catch what the envelope seal no longer can.
+TEST(FleetFrame, RejectsEveryTruncationEvenResealed) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  ASSERT_GT(bytes.size(), kFrameHeaderBytes);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<std::uint8_t> torn(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(keep));
+    SnapshotFrame decoded;
+    EXPECT_TRUE(decode_frame(torn, &decoded))
+        << "raw prefix of " << keep << " bytes accepted";
+
+    reseal_frame(torn);  // no-op below kFrameHeaderBytes
+    EXPECT_TRUE(decode_frame(torn, &decoded))
+        << "resealed prefix of " << keep << " bytes accepted";
+  }
+}
+
+// Flipping any single byte of the sealed region must trip the CRC; bytes
+// before the CRC field identify the format and fail their own checks.
+TEST(FleetFrame, RejectsEverySingleByteFlip) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    std::vector<std::uint8_t> damaged = bytes;
+    damaged[at] ^= 0x20;
+    SnapshotFrame decoded;
+    const FrameError err = decode_frame(damaged, &decoded);
+    EXPECT_TRUE(err) << "flip at byte " << at << " accepted";
+    if (at >= kFrameCrcStart) {
+      EXPECT_EQ(err.code, FrameErrorCode::kCrcMismatch)
+          << "flip at byte " << at;
+    }
+  }
+}
+
+TEST(FleetFrame, RejectsBadMagicAndVersion) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  bytes[0] = 'X';
+  SnapshotFrame decoded;
+  EXPECT_EQ(decode_frame(bytes, &decoded).code, FrameErrorCode::kBadMagic);
+
+  bytes = encode_frame(sample_frame());
+  patch_u32_at(bytes, 4, kFrameVersion + 1);
+  EXPECT_EQ(decode_frame(bytes, &decoded).code, FrameErrorCode::kBadVersion);
+}
+
+TEST(FleetFrame, RejectsBadKindEvenWithValidCrc) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  patch_u32_at(bytes, 44, 99);
+  reseal_frame(bytes);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kBadKind);
+  EXPECT_EQ(err.offset, 44u);
+}
+
+TEST(FleetFrame, RejectsDuplicateSection) {
+  SnapshotFrame frame;
+  frame.header.kind = FrameKind::kEpoch;
+  frame.has_telemetry = true;
+  frame.telemetry = "x 1\n";
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  // Append a second telemetry section by hand and bump the section count.
+  const std::size_t section_at = kFrameHeaderBytes;
+  const std::size_t section_len = bytes.size() - section_at;
+  std::vector<std::uint8_t> extra(bytes.begin() + static_cast<long>(section_at),
+                                  bytes.end());
+  bytes.insert(bytes.end(), extra.begin(), extra.end());
+  patch_u32_at(bytes, 48, 2);
+  reseal_frame(bytes);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kDuplicateSection);
+  EXPECT_EQ(err.offset, section_at + section_len);
+}
+
+TEST(FleetFrame, RejectsUnknownSectionId) {
+  SnapshotFrame frame;
+  frame.header.kind = FrameKind::kEpoch;
+  frame.has_telemetry = true;
+  frame.telemetry = "x 1\n";
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  patch_u32_at(bytes, kFrameHeaderBytes, 77);  // telemetry id -> unknown
+  reseal_frame(bytes);
+  SnapshotFrame decoded;
+  EXPECT_EQ(decode_frame(bytes, &decoded).code,
+            FrameErrorCode::kBadSectionHeader);
+}
+
+TEST(FleetFrame, RejectsSectionLengthPastEnd) {
+  SnapshotFrame frame = sample_frame();
+  frame.has_checkpoint = false;
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  // The telemetry section's u64 length sits right after its u32 id.
+  patch_u32_at(bytes, kFrameHeaderBytes + 4, 0xFFFF);
+  patch_u32_at(bytes, kFrameHeaderBytes + 8, 0);
+  reseal_frame(bytes);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kBadSectionHeader);
+  EXPECT_EQ(err.offset, kFrameHeaderBytes);
+}
+
+TEST(FleetFrame, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  bytes.push_back(0xAB);
+  reseal_frame(bytes);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kTrailingBytes);
+  EXPECT_EQ(err.offset, bytes.size() - 1);
+}
+
+TEST(FleetFrame, ErrorsRenderOffsets) {
+  const FrameError err = FrameError::at(FrameErrorCode::kCrcMismatch, 8);
+  EXPECT_EQ(err.to_string(), "CRC mismatch at byte offset 8");
+  EXPECT_EQ(FrameError::ok().to_string(), "ok");
+  EXPECT_STREQ(to_string(FrameErrorCode::kTruncated), "truncated");
+}
+
+TEST(FleetFrame, LoadRejectsMissingFile) {
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(load_frame_file("/nonexistent/fleet/frame.dfrm", &bytes).code,
+            FrameErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dart::fleet

@@ -1,0 +1,154 @@
+// parse_prometheus under adversarial input. The parser is the trust
+// boundary for every scraped or spooled telemetry blob (dart-top, the
+// fleet collector's cross-validation, the CI golden checks), so damaged
+// text must never crash it, never yield a partially parsed lie, and never
+// let a non-finite value leak into downstream aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "telemetry/export.hpp"
+
+namespace dart::telemetry {
+namespace {
+
+TEST(PromFuzz, TruncatedLinesAreDroppedNotMisparsed) {
+  const std::string whole =
+      "dart_routed_total 5000\n"
+      "dart_rtt_us{leg=\"front\",quantile=\"0.5\"} 1234.5\n"
+      "dart_processed_total 4900\n";
+  // Every strict prefix must parse without crashing, and every sample it
+  // does return must be one of the intact lines, never a mangled tail.
+  for (std::size_t keep = 0; keep < whole.size(); ++keep) {
+    const auto samples = parse_prometheus(whole.substr(0, keep));
+    for (const PromSample& sample : samples) {
+      EXPECT_TRUE(sample.name == "dart_routed_total" ||
+                  sample.name == "dart_rtt_us" ||
+                  sample.name == "dart_processed_total")
+          << "prefix of " << keep << " bytes produced sample '"
+          << sample.name << "'";
+      EXPECT_TRUE(std::isfinite(sample.value));
+    }
+  }
+  // A truncated value still parses as far as the digits go — cumulative
+  // counters are only trusted after deeper identity checks — but a line
+  // cut before any value must not produce a sample at all.
+  EXPECT_TRUE(parse_prometheus("dart_routed_total ").empty());
+  EXPECT_TRUE(parse_prometheus("dart_routed_total").empty());
+  EXPECT_TRUE(parse_prometheus("dart_rtt_us{leg=\"front\"").empty());
+}
+
+TEST(PromFuzz, DuplicateMetricNamesAllSurviveInOrder) {
+  // Duplicate names are legal exposition (distinct label sets) and also
+  // what a duplicated spool frame looks like; the parser must keep every
+  // sample in text order and let callers resolve, not dedupe silently.
+  const auto samples = parse_prometheus(
+      "dart_x 1\n"
+      "dart_x 2\n"
+      "dart_x{shard=\"0\"} 3\n"
+      "dart_x 2\n");
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].value, 1.0);
+  EXPECT_EQ(samples[1].value, 2.0);
+  EXPECT_EQ(samples[2].labels.at("shard"), "0");
+  EXPECT_EQ(samples[3].value, 2.0);
+  // prom_value's label-free lookup resolves duplicates to the first hit.
+  EXPECT_EQ(prom_value(samples, "dart_x"), 1.0);
+}
+
+TEST(PromFuzz, NonFiniteValuesAreFilteredOut) {
+  const auto samples = parse_prometheus(
+      "dart_good 7\n"
+      "dart_nan nan\n"
+      "dart_nan_upper NaN\n"
+      "dart_inf inf\n"
+      "dart_inf_neg -inf\n"
+      "dart_inf_word infinity\n"
+      "dart_huge 1e9999\n"  // overflows strtod to +inf
+      "dart_also_good 9\n");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "dart_good");
+  EXPECT_EQ(samples[1].name, "dart_also_good");
+  for (const PromSample& sample : samples) {
+    EXPECT_TRUE(std::isfinite(sample.value));
+  }
+}
+
+TEST(PromFuzz, GarbageStructuresNeverCrashOrYieldSamples) {
+  const char* hostile[] = {
+      "{} 1",                          // empty name, labels first
+      "{a=\"b\"} 2",                   // no name at all
+      "name{a=\"b\" 3",                // unclosed label block
+      "name{a=b} 4",                   // unquoted label value
+      "name{=\"v\"} 5",                // empty label key
+      "name{a=\"v\"",                  // cut before value
+      "no_value_here",                 // bare token
+      "   ",                           // whitespace only
+      "# HELP dart_x a comment\n# TYPE dart_x counter",
+      "name value",                    // non-numeric value
+      "\xff\xfe\x00garbage 1",         // binary noise
+  };
+  for (const char* text : hostile) {
+    for (const PromSample& sample : parse_prometheus(text)) {
+      // Whatever survives must be a complete, finite, named sample.
+      EXPECT_FALSE(sample.name.empty()) << "input: " << text;
+      EXPECT_TRUE(std::isfinite(sample.value)) << "input: " << text;
+    }
+  }
+}
+
+// Seeded mutation fuzz: splice, truncate, and byte-flip a well-formed
+// document thousands of times. The invariants are crash-freedom, finite
+// values, and non-empty names — the same promises the collector's
+// quarantine logic builds on.
+TEST(PromFuzz, SeededMutationsHoldParserInvariants) {
+  const std::string seed_text =
+      "# TYPE dart_rtt_us summary\n"
+      "dart_rtt_us{leg=\"front\",quantile=\"0.99\"} 1875.25\n"
+      "dart_routed_total 123456789\n"
+      "dart_frames_quarantined_total{reason=\"crc-mismatch\"} 3\n"
+      "dart_vantage_state{vantage=\"campus-1\"} 2\n";
+  dart::Rng rng(0xF02ED5EEDULL);
+  for (int round = 0; round < 4000; ++round) {
+    std::string text = seed_text;
+    const std::uint64_t mutations = 1 + rng.next_u64() % 4;
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.next_u64() % 4) {
+        case 0:  // truncate anywhere
+          text.resize(rng.next_u64() % (text.size() + 1));
+          break;
+        case 1: {  // flip a byte
+          if (text.empty()) break;
+          text[rng.next_u64() % text.size()] ^=
+              static_cast<char>(1 + rng.next_u64() % 255);
+          break;
+        }
+        case 2: {  // splice a random chunk of itself somewhere else
+          if (text.empty()) break;
+          const std::size_t from = rng.next_u64() % text.size();
+          const std::size_t len =
+              rng.next_u64() % (text.size() - from) + 1;
+          const std::size_t at = rng.next_u64() % (text.size() + 1);
+          text.insert(at, text.substr(from, len));
+          break;
+        }
+        default:  // inject a hostile token
+          text.insert(rng.next_u64() % (text.size() + 1),
+                      round % 2 ? "nan" : "{\"");
+          break;
+      }
+    }
+    for (const PromSample& sample : parse_prometheus(text)) {
+      ASSERT_TRUE(std::isfinite(sample.value)) << "round " << round;
+      ASSERT_FALSE(sample.name.empty()) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dart::telemetry
