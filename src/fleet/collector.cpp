@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -27,7 +28,38 @@ double labeled_value(const std::vector<telemetry::PromSample>& samples,
 }
 
 std::uint64_t as_count(double value) {
-  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(value));
+  if (value <= 0.0) return 0;
+  // Counters near 2^64 survive the text round-trip as the double closest
+  // to 2^64; llround would overflow (UB), so saturate explicitly. Doubles
+  // in [2^63, 2^64) convert directly without rounding help.
+  if (value >= 18446744073709551615.0) return ~std::uint64_t{0};
+  if (value >= 9223372036854775808.0) return static_cast<std::uint64_t>(value);
+  return static_cast<std::uint64_t>(std::llround(value));
+}
+
+/// Shortest round-trippable rendering, byte-for-byte the telemetry
+/// exporter's discipline — the fleet quantile block must be byte-stable.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Skew estimate of a state frame against its cursor-derived barrier. A
+/// final frame may honestly claim either the last covered barrier or one
+/// past it (an exporter's final either replaces or follows its last epoch
+/// frame), so the nearer candidate is used.
+std::int64_t frame_epoch_skew(const FrameHeader& header,
+                              std::uint64_t epoch_interval) {
+  const std::uint64_t aligned = header.cursor / epoch_interval;
+  const std::int64_t claimed = static_cast<std::int64_t>(header.epoch);
+  std::int64_t skew = claimed - static_cast<std::int64_t>(aligned);
+  if (header.kind == FrameKind::kFinal) {
+    const std::int64_t alt =
+        claimed - static_cast<std::int64_t>(aligned + 1);
+    if (std::llabs(alt) < std::llabs(skew)) skew = alt;
+  }
+  return skew;
 }
 
 QuarantineReason reason_for(FrameErrorCode code) {
@@ -87,6 +119,8 @@ const char* to_string(QuarantineReason reason) {
       return "stats-mismatch";
     case QuarantineReason::kIoError:
       return "io-error";
+    case QuarantineReason::kExcessiveSkew:
+      return "excessive-skew";
   }
   return "unknown";
 }
@@ -201,6 +235,22 @@ bool FleetCollector::apply_frame(std::uint64_t vantage,
         quarantine(pending.file, vantage, QuarantineReason::kStaleEpoch, 28);
         return false;
       }
+      // Skew gate: with a manifest interval the cursor pins which barrier
+      // this frame really describes; a claimed epoch within the grace
+      // window heals losslessly (the frame is applied, the report renders
+      // the aligned epoch), beyond it the frame is quarantined and the
+      // cursor stays put — the exact loss window charges the vantage.
+      std::int64_t skew = 0;
+      if (status.has_manifest && status.info.epoch_interval > 0) {
+        skew = frame_epoch_skew(frame.header, status.info.epoch_interval);
+        const std::uint64_t magnitude = static_cast<std::uint64_t>(
+            skew < 0 ? -skew : skew);
+        if (magnitude > config_.skew_grace_epochs) {
+          quarantine(pending.file, vantage,
+                     QuarantineReason::kExcessiveSkew, 28);
+          return false;
+        }
+      }
       if (!frame.has_telemetry) {
         quarantine(pending.file, vantage, QuarantineReason::kBadFrame, 44);
         return false;
@@ -216,12 +266,22 @@ bool FleetCollector::apply_frame(std::uint64_t vantage,
           as_count(telemetry::prom_value(samples, "dart_abandoned_total"));
       const std::uint64_t prom_lost_to_crash = as_count(
           telemetry::prom_value(samples, "dart_lost_to_crash_total"));
+      const std::uint64_t prom_samples =
+          as_count(telemetry::prom_value(samples, "dart_samples_total"));
       // Deep cross-validation before any state moves: the telemetry text
       // must agree with the envelope cursor and satisfy the per-vantage
       // identity; an embedded checkpoint must validate and agree too.
       if (prom_routed != frame.header.cursor ||
           prom_processed + prom_shed + prom_abandoned + prom_lost_to_crash !=
               prom_routed) {
+        quarantine(pending.file, vantage, QuarantineReason::kStatsMismatch,
+                   36);
+        return false;
+      }
+      // A histogram section's mass is the vantage's cumulative sample
+      // count; disagreement means the frame is internally inconsistent.
+      if (frame.has_rtt_histogram &&
+          frame.rtt_histogram.total() != prom_samples) {
         quarantine(pending.file, vantage, QuarantineReason::kStatsMismatch,
                    36);
         return false;
@@ -240,9 +300,7 @@ bool FleetCollector::apply_frame(std::uint64_t vantage,
           return false;
         }
         if (stats.packets_processed != prom_processed ||
-            stats.samples !=
-                as_count(
-                    telemetry::prom_value(samples, "dart_samples_total"))) {
+            stats.samples != prom_samples) {
           quarantine(pending.file, vantage,
                      QuarantineReason::kStatsMismatch, 36);
           return false;
@@ -251,8 +309,7 @@ bool FleetCollector::apply_frame(std::uint64_t vantage,
         // No image (e.g. a sharded vantage): the telemetry text is the
         // authoritative source for the merge counters.
         stats.packets_processed = prom_processed;
-        stats.samples =
-            as_count(telemetry::prom_value(samples, "dart_samples_total"));
+        stats.samples = prom_samples;
         stats.recirculations = as_count(
             telemetry::prom_value(samples, "dart_recirculations_total"));
         stats.runtime.shed_packets = prom_shed;
@@ -261,9 +318,18 @@ bool FleetCollector::apply_frame(std::uint64_t vantage,
       }
       status.last_epoch = frame.header.epoch;
       status.cursor = frame.header.cursor;
+      status.epoch_skew = skew;
       status.stats = stats;
       status.has_stats = true;
       status.telemetry = std::move(frame.telemetry);
+      if (frame.has_rtt_histogram) {
+        // Cumulative like every other state section: replace, don't add.
+        status.rtt_histogram = analytics::LogHistogram::from_layout(
+            frame.rtt_histogram.log_min, frame.rtt_histogram.log_step,
+            std::move(frame.rtt_histogram.bins), frame.rtt_histogram.seen_min,
+            frame.rtt_histogram.seen_max);
+        status.has_rtt_histogram = true;
+      }
       ++status.frames_accepted;
       status.state = frame.header.kind == FrameKind::kFinal
                          ? VantageState::kComplete
@@ -384,6 +450,41 @@ std::uint64_t FleetCollector::run() {
   return attempt;
 }
 
+std::uint64_t FleetCollector::epoch_watermark() const {
+  // Fenced stale/missing vantages are excluded: the fleet cannot wait on a
+  // vantage it has already given up on (its loss window is charged
+  // instead). Complete and live vantages all gate the watermark, so a live
+  // vantage with no accepted state pins it at zero.
+  std::uint64_t watermark = ~std::uint64_t{0};
+  bool any = false;
+  for (const auto& status : vantages_) {
+    if (status.state == VantageState::kStale ||
+        status.state == VantageState::kMissing) {
+      continue;
+    }
+    any = true;
+    const std::uint64_t aligned = status.aligned_epoch();
+    if (aligned < watermark) watermark = aligned;
+  }
+  return any ? watermark : 0;
+}
+
+analytics::LogHistogram FleetCollector::merged_rtt_histogram(
+    std::uint64_t* contributors) const {
+  // Start from the default layout: every exporter bins with it today, so
+  // the merge is the exact bin-by-bin path; a foreign layout still merges
+  // mass-conservingly by bin midpoint.
+  analytics::LogHistogram merged;
+  std::uint64_t count = 0;
+  for (const auto& status : vantages_) {
+    if (!status.has_rtt_histogram) continue;
+    ++count;
+    merged.merge(status.rtt_histogram);
+  }
+  if (contributors != nullptr) *contributors = count;
+  return merged;
+}
+
 std::string FleetCollector::report_text() const {
   std::string out;
   out.reserve(4096);
@@ -451,6 +552,7 @@ std::string FleetCollector::report_text() const {
   line("fleet_frames_accepted_total", accepted);
   line("fleet_frames_quarantined_total", quarantined);
   line("fleet_frames_missing_total", frames_missing);
+  line("fleet_epoch_watermark", epoch_watermark());
   for (std::size_t r = 0; r < kQuarantineReasons; ++r) {
     out += "fleet_frames_quarantined_total{reason=\"";
     out += to_string(static_cast<QuarantineReason>(r));
@@ -474,7 +576,10 @@ std::string FleetCollector::report_text() const {
     vline("fleet_lost_to_vantage_total", name, status.lost_to_vantage());
     vline("fleet_samples_total", name, status.stats.samples);
     vline("fleet_recirculations_total", name, status.stats.recirculations);
-    vline("fleet_last_epoch", name, status.last_epoch);
+    // Aligned, not claimed: a within-grace skewed clock must not perturb
+    // one byte of the canonical report (skew_report_text() carries the
+    // claimed epochs and signed estimates).
+    vline("fleet_last_epoch", name, status.aligned_epoch());
     vline("fleet_frames_accepted_total", name, status.frames_accepted);
     vline("fleet_frames_quarantined_total", name, status.frames_quarantined);
     vline("fleet_frames_missing_total", name, status.frames_missing);
@@ -487,6 +592,46 @@ std::string FleetCollector::report_text() const {
   line("fleet_lost_to_vantage_total", total_lost_to_vantage);
   line("fleet_samples_total", totals.samples);
   line("fleet_recirculations_total", totals.recirculations);
+
+  // Fleet-wide RTT distribution, folded from the vantages' cumulative
+  // histogram sections. Quantile rows render only when mass exists —
+  // quantiles of an empty distribution are not numbers worth printing —
+  // but the contributor/sample counts always render, keeping the schema
+  // decidable from the report alone.
+  std::uint64_t hist_vantages = 0;
+  const analytics::LogHistogram merged = merged_rtt_histogram(&hist_vantages);
+  line("fleet_rtt_vantages", hist_vantages);
+  line("fleet_rtt_samples_total", merged.count());
+  if (merged.count() > 0) {
+    line("fleet_rtt_min_ns", merged.min());
+    line("fleet_rtt_max_ns", merged.max());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      out += "fleet_rtt_ns{quantile=\"";
+      out += format_double(q);
+      out += "\"} ";
+      out += format_double(merged.quantile(q));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string FleetCollector::skew_report_text() const {
+  std::string out;
+  out.reserve(1024);
+  out += "# Dart fleet skew report v1\n";
+  out += "fleet_epoch_watermark " + std::to_string(epoch_watermark()) + '\n';
+  out += "fleet_skew_grace_epochs " +
+         std::to_string(config_.skew_grace_epochs) + '\n';
+  for (const auto& status : vantages_) {
+    const std::string label = "{vantage=\"" + status.info.name + "\"} ";
+    out += "fleet_claimed_epoch" + label + std::to_string(status.last_epoch) +
+           '\n';
+    out += "fleet_aligned_epoch" + label +
+           std::to_string(status.aligned_epoch()) + '\n';
+    out += "fleet_epoch_skew" + label + std::to_string(status.epoch_skew) +
+           '\n';
+  }
   return out;
 }
 

@@ -32,6 +32,20 @@
 //    arrival order; a sequence gap is held open for gap_grace_attempts
 //    polls (an in-flight reordered frame fills it losslessly) and only
 //    then skipped and counted missing.
+//
+//  * Epoch alignment under clock skew: the *cursor* (packets covered,
+//    cross-validated against the telemetry counters) is the trusted clock;
+//    the epoch header is just a claim. With a manifest interval the barrier
+//    a state frame should claim is cursor / epoch_interval, so a skewed
+//    claim within skew_grace_epochs heals losslessly (the frame is applied
+//    and the report renders the *aligned* epoch) while a claim beyond the
+//    grace window is quarantined (excessive-skew) — the cursor does not
+//    advance, so the vantage's loss window stays exact and the fleet
+//    identity holds. The fleet epoch watermark is the minimum aligned
+//    epoch over non-fenced vantages: a fleet epoch is committed only once
+//    every participant has exported at or past it. Heartbeats carry no
+//    validated state and never move cursors, skew estimates, or the
+//    watermark.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/histogram.hpp"
 #include "core/stats.hpp"
 #include "fleet/frame.hpp"
 #include "fleet/snapshot_sink.hpp"
@@ -70,9 +85,10 @@ enum class QuarantineReason : std::uint8_t {
   kBadCheckpoint,     ///< embedded checkpoint image failed validation
   kStatsMismatch,     ///< checkpoint counters disagree with telemetry text
   kIoError,           ///< spool file could not be read
+  kExcessiveSkew,     ///< claimed epoch beyond the skew-grace window
 };
 
-inline constexpr std::size_t kQuarantineReasons = 11;
+inline constexpr std::size_t kQuarantineReasons = 12;
 
 const char* to_string(QuarantineReason reason);
 
@@ -97,6 +113,9 @@ struct CollectorConfig {
   std::uint64_t gap_grace_attempts = 3;
   /// Upper bound on run()'s poll loop; finalize() fences whatever is left.
   std::uint64_t max_attempts = 64;
+  /// How far a state frame's claimed epoch may sit from the cursor-derived
+  /// barrier before the frame is quarantined instead of healed.
+  std::uint64_t skew_grace_epochs = 2;
   RetryPolicy retry;
 };
 
@@ -116,12 +135,32 @@ struct VantageStatus {
   std::uint64_t attempts_without_progress = 0;
   std::uint64_t gap_attempts = 0;    ///< polls the current gap stayed open
   bool fenced = false;               ///< liveness deadline fired (terminal)
+  /// Claimed-minus-aligned epoch of the last accepted state frame: the
+  /// per-vantage skew estimate (zero for an honest clock). Heartbeats
+  /// never update it.
+  std::int64_t epoch_skew = 0;
+  bool has_rtt_histogram = false;
+  /// Cumulative RTT distribution from the last accepted state frame
+  /// carrying a histogram section.
+  analytics::LogHistogram rtt_histogram;
 
   /// Exact loss window: what the manifest promised minus what the last
   /// accepted state frame covered. Zero for a complete vantage.
   std::uint64_t lost_to_vantage() const {
     if (!has_manifest) return 0;
     return info.expected_routed > cursor ? info.expected_routed - cursor : 0;
+  }
+
+  /// The barrier actually covered by the accepted cursor — the skew-immune
+  /// epoch the report renders and the watermark is computed from. Without
+  /// a manifest interval there is nothing to align against, so the claimed
+  /// epoch stands.
+  std::uint64_t aligned_epoch() const {
+    if (!has_stats) return 0;
+    if (has_manifest && info.epoch_interval > 0) {
+      return cursor / info.epoch_interval;
+    }
+    return last_epoch;
   }
 };
 
@@ -165,11 +204,31 @@ class FleetCollector {
   }
   std::uint64_t polls() const { return polls_; }
 
+  /// The fleet epoch watermark: the highest epoch every participating
+  /// (complete or live, non-fenced-stale/missing) vantage has exported at
+  /// or past, measured in *aligned* epochs so a skewed claim cannot move
+  /// it. Zero when no vantage has accepted state.
+  std::uint64_t epoch_watermark() const;
+
+  /// Fold every vantage's accepted cumulative RTT histogram into one
+  /// fleet-wide distribution (mass-conserving merge, vantage-index order).
+  /// `contributors`, when non-null, gets the number of vantages that
+  /// carried a histogram.
+  analytics::LogHistogram merged_rtt_histogram(
+      std::uint64_t* contributors = nullptr) const;
+
   /// The deterministic merged report: fleet/vantage states, the extended
-  /// identity counters, and quarantine accounting, in Prometheus-style
-  /// text (parse_prometheus-compatible). Byte-stable for identical spool
-  /// contents.
+  /// identity counters, quarantine accounting, the epoch watermark, and
+  /// the fleet RTT quantile block, in Prometheus-style text
+  /// (parse_prometheus-compatible). Byte-stable for identical spool
+  /// contents — epochs render *aligned*, so within-grace skew cannot
+  /// perturb a single byte.
   std::string report_text() const;
+
+  /// Skew diagnostics, separate from report_text() so the canonical report
+  /// stays byte-identical under healed skew: per-vantage claimed epoch,
+  /// aligned epoch, and the signed skew estimate, plus the watermark.
+  std::string skew_report_text() const;
 
  private:
   struct PendingFrame {

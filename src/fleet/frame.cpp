@@ -1,5 +1,7 @@
 #include "fleet/frame.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -113,6 +115,44 @@ FrameError decode_vantage_info(std::span<const std::uint8_t> payload,
   return FrameError::ok();
 }
 
+FrameError decode_rtt_histogram(std::span<const std::uint8_t> payload,
+                                std::uint64_t base_offset,
+                                RttHistogramSection* hist) {
+  Cursor cursor(payload);
+  hist->log_min = std::bit_cast<double>(cursor.u64());
+  hist->log_step = std::bit_cast<double>(cursor.u64());
+  hist->seen_min = cursor.u64();
+  hist->seen_max = cursor.u64();
+  const std::uint32_t bin_count = cursor.u32();
+  if (cursor.error()) {
+    return FrameError::at(cursor.error().code,
+                          base_offset + cursor.error().offset);
+  }
+  // The layout must be one LogHistogram can actually hold: finite log10
+  // bounds, a strictly positive step, and a bounded bin table — a CRC-valid
+  // but hostile frame must not drive quantile math into NaN territory or
+  // force an unbounded allocation.
+  if (!std::isfinite(hist->log_min) || !std::isfinite(hist->log_step) ||
+      hist->log_step <= 0.0 || bin_count == 0 ||
+      bin_count > kMaxHistogramBins) {
+    return FrameError::at(FrameErrorCode::kBadFieldValue, base_offset);
+  }
+  hist->bins.resize(bin_count);
+  for (std::uint32_t i = 0; i < bin_count; ++i) hist->bins[i] = cursor.u64();
+  if (cursor.error()) {
+    return FrameError::at(cursor.error().code,
+                          base_offset + cursor.error().offset);
+  }
+  if (cursor.remaining() != 0) {
+    return FrameError::at(FrameErrorCode::kTrailingBytes,
+                          base_offset + cursor.pos());
+  }
+  if (hist->total() > 0 && hist->seen_min > hist->seen_max) {
+    return FrameError::at(FrameErrorCode::kBadFieldValue, base_offset + 16);
+  }
+  return FrameError::ok();
+}
+
 }  // namespace
 
 const char* to_string(FrameErrorCode code) {
@@ -188,6 +228,18 @@ std::vector<std::uint8_t> encode_frame(const SnapshotFrame& frame) {
   if (frame.has_telemetry) {
     begin_section(FrameSection::kTelemetry, frame.telemetry.size());
     out.insert(out.end(), frame.telemetry.begin(), frame.telemetry.end());
+  }
+  if (frame.has_rtt_histogram) {
+    const RttHistogramSection& hist = frame.rtt_histogram;
+    std::vector<std::uint8_t> body;
+    put_u64(body, std::bit_cast<std::uint64_t>(hist.log_min));
+    put_u64(body, std::bit_cast<std::uint64_t>(hist.log_step));
+    put_u64(body, hist.seen_min);
+    put_u64(body, hist.seen_max);
+    put_u32(body, static_cast<std::uint32_t>(hist.bins.size()));
+    for (const std::uint64_t bin : hist.bins) put_u64(body, bin);
+    begin_section(FrameSection::kRttHistogram, body.size());
+    out.insert(out.end(), body.begin(), body.end());
   }
 
   patch_u32(out, count_at, sections);
@@ -266,6 +318,18 @@ FrameError decode_frame(std::span<const std::uint8_t> bytes,
         out->has_telemetry = true;
         out->telemetry.assign(reinterpret_cast<const char*>(payload.data()),
                               payload.size());
+        break;
+      }
+      case FrameSection::kRttHistogram: {
+        if (out->has_rtt_histogram) {
+          return FrameError::at(FrameErrorCode::kDuplicateSection,
+                                section_at);
+        }
+        out->has_rtt_histogram = true;
+        if (auto err = decode_rtt_histogram(payload, payload_at,
+                                            &out->rtt_histogram)) {
+          return err;
+        }
         break;
       }
       default:

@@ -50,10 +50,17 @@ enum class FrameKind : std::uint32_t {
 /// Section ids inside a frame. Version-1 readers reject unknown ids
 /// (strict framing, as in the checkpoint format).
 enum class FrameSection : std::uint32_t {
-  kVantageInfo = 1,  ///< manifest body (name + expected totals)
-  kCheckpoint = 2,   ///< a complete DCKP CheckpointImage, verbatim
-  kTelemetry = 3,    ///< deterministic Prometheus text snapshot
+  kVantageInfo = 1,   ///< manifest body (name + expected totals)
+  kCheckpoint = 2,    ///< a complete DCKP CheckpointImage, verbatim
+  kTelemetry = 3,     ///< deterministic Prometheus text snapshot
+  kRttHistogram = 4,  ///< cumulative log-binned RTT distribution
 };
+
+/// Upper bound on histogram bins a frame may declare. The default layout
+/// (usec(10)..sec(120), 20 bins/decade) needs ~150 bins; 4096 leaves room
+/// for exotic layouts while keeping a hostile frame from forcing a huge
+/// allocation before the CRC has already vetoed random corruption.
+inline constexpr std::uint32_t kMaxHistogramBins = 4096;
 
 enum class FrameErrorCode : std::uint8_t {
   kNone = 0,
@@ -111,6 +118,31 @@ struct VantageInfo {
   friend bool operator==(const VantageInfo&, const VantageInfo&) = default;
 };
 
+/// Raw wire form of a cumulative RTT histogram: the `LogHistogram` layout
+/// (log10 bounds + per-bin counts) plus the exact seen extrema. Kept as
+/// plain fields here so the frame layer stays a pure codec — the collector
+/// rehydrates it through `analytics::LogHistogram::from_layout`, whose
+/// mass-conserving merge makes fleet-wide quantiles exact. Counts are
+/// cumulative like every other state section: each frame supersedes its
+/// predecessors, so losing frame k and accepting k+1 loses no samples.
+struct RttHistogramSection {
+  double log_min = 0.0;   ///< log10 of the lowest bin edge
+  double log_step = 0.0;  ///< log10 width of one bin (> 0, finite)
+  std::uint64_t seen_min = 0;  ///< exact minimum sample (ns)
+  std::uint64_t seen_max = 0;  ///< exact maximum sample (ns)
+  std::vector<std::uint64_t> bins;
+
+  /// Total mass; must equal the vantage's cumulative sample counter.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t bin : bins) sum += bin;
+    return sum;
+  }
+
+  friend bool operator==(const RttHistogramSection&,
+                         const RttHistogramSection&) = default;
+};
+
 /// A fully decoded frame (or one staged for encoding). Optional sections
 /// are flagged: a heartbeat has neither checkpoint nor telemetry; an epoch
 /// frame from a single-monitor vantage has both.
@@ -122,6 +154,8 @@ struct SnapshotFrame {
   core::CheckpointImage checkpoint;
   bool has_telemetry = false;
   std::string telemetry;
+  bool has_rtt_histogram = false;
+  RttHistogramSection rtt_histogram;
 };
 
 /// Serialize a frame: header, sections present, CRC seal. Infallible.

@@ -30,23 +30,37 @@ class SnapshotSink {
 
 /// Publishes each frame as one file in a spool directory, named
 /// v<vantage>-p<publish_index>.dfrm (zero-padded so lexicographic order is
-/// arrival order). Files appear atomically: the bytes go to a temp file
-/// first and are renamed into place, the write_atomic discipline.
+/// arrival order), or v<vantage>-i<incarnation>-p<publish_index>.dfrm for
+/// restarted incarnations. Files appear atomically: the bytes go to a temp
+/// file first and are renamed into place, the write_atomic discipline.
+///
+/// The incarnation tag is how a restarted vantage process avoids silently
+/// overwriting its predecessor's live publish slots: both processes count
+/// publish indices from zero, so without the tag the successor's manifest
+/// would clobber slot 0 of a stream the collector may not have read yet.
+/// Incarnation 0 keeps the legacy untagged name, so old spools still scan.
 class SpoolSink final : public SnapshotSink {
  public:
-  explicit SpoolSink(std::string directory);
+  explicit SpoolSink(std::string directory, std::uint64_t incarnation = 0);
 
   bool publish(std::uint64_t vantage, std::uint64_t publish_index,
                std::span<const std::uint8_t> bytes) override;
 
   const std::string& directory() const { return directory_; }
+  std::uint64_t incarnation() const { return incarnation_; }
 
-  /// The spool filename for a (vantage, publish slot) pair.
+  /// The spool filename for a (vantage, publish slot) pair (incarnation 0).
   static std::string file_name(std::uint64_t vantage,
+                               std::uint64_t publish_index);
+
+  /// The spool filename with an explicit incarnation tag.
+  static std::string file_name(std::uint64_t vantage,
+                               std::uint64_t incarnation,
                                std::uint64_t publish_index);
 
  private:
   std::string directory_;
+  std::uint64_t incarnation_ = 0;
 };
 
 /// Test sink: keeps every published frame in memory, in arrival order.
@@ -75,12 +89,14 @@ class MemorySink final : public SnapshotSink {
 struct SpoolEntry {
   std::string path;
   std::uint64_t vantage = 0;
+  std::uint64_t incarnation = 0;
   std::uint64_t publish_index = 0;
 };
 
 /// Enumerate the spool: every *.dfrm file whose name parses, sorted by
-/// (vantage, publish index). Temp files and foreign names are ignored, so
-/// a scan concurrent with publishes only ever sees complete frames.
+/// (vantage, incarnation, publish index). Temp files and foreign names are
+/// ignored, so a scan concurrent with publishes only ever sees complete
+/// frames. Untagged legacy names scan as incarnation 0.
 std::vector<SpoolEntry> scan_spool(const std::string& directory);
 
 }  // namespace dart::fleet

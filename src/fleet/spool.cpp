@@ -9,8 +9,8 @@
 
 namespace dart::fleet {
 
-SpoolSink::SpoolSink(std::string directory)
-    : directory_(std::move(directory)) {
+SpoolSink::SpoolSink(std::string directory, std::uint64_t incarnation)
+    : directory_(std::move(directory)), incarnation_(incarnation) {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
 }
@@ -23,10 +23,24 @@ std::string SpoolSink::file_name(std::uint64_t vantage,
   return name;
 }
 
+std::string SpoolSink::file_name(std::uint64_t vantage,
+                                 std::uint64_t incarnation,
+                                 std::uint64_t publish_index) {
+  // Incarnation 0 is the common (never-restarted) case and keeps the
+  // legacy untagged name, so spools written before the tag existed and
+  // spools written after coexist under one scan.
+  if (incarnation == 0) return file_name(vantage, publish_index);
+  char name[80];
+  std::snprintf(name, sizeof(name),
+                "v%06" PRIu64 "-i%04" PRIu64 "-p%010" PRIu64 ".dfrm", vantage,
+                incarnation, publish_index);
+  return name;
+}
+
 bool SpoolSink::publish(std::uint64_t vantage, std::uint64_t publish_index,
                         std::span<const std::uint8_t> bytes) {
   const std::string path =
-      directory_ + "/" + file_name(vantage, publish_index);
+      directory_ + "/" + file_name(vantage, incarnation_, publish_index);
   // write_atomic publishes via tmp + rename, so a collector scanning the
   // spool never observes a torn frame — only absent or whole.
   return telemetry::write_atomic(
@@ -45,20 +59,34 @@ std::vector<SpoolEntry> scan_spool(const std::string& directory) {
     const std::string name = dirent.path().filename().string();
     if (!name.ends_with(".dfrm")) continue;
     std::uint64_t vantage = 0;
+    std::uint64_t incarnation = 0;
     std::uint64_t publish_index = 0;
     int consumed = 0;
-    if (std::sscanf(name.c_str(), "v%" SCNu64 "-p%" SCNu64 "%n", &vantage,
-                    &publish_index, &consumed) != 2 ||
-        name.compare(static_cast<std::size_t>(consumed),
-                     std::string::npos, ".dfrm") != 0) {
+    // Tagged form first (it is the stricter pattern); fall back to the
+    // legacy untagged form, which scans as incarnation 0.
+    if (std::sscanf(name.c_str(), "v%" SCNu64 "-i%" SCNu64 "-p%" SCNu64 "%n",
+                    &vantage, &incarnation, &publish_index,
+                    &consumed) == 3 &&
+        name.compare(static_cast<std::size_t>(consumed), std::string::npos,
+                     ".dfrm") == 0) {
+      // parsed tagged name
+    } else if (std::sscanf(name.c_str(), "v%" SCNu64 "-p%" SCNu64 "%n",
+                           &vantage, &publish_index, &consumed) == 2 &&
+               name.compare(static_cast<std::size_t>(consumed),
+                            std::string::npos, ".dfrm") == 0) {
+      incarnation = 0;
+    } else {
       continue;
     }
-    entries.push_back(SpoolEntry{dirent.path().string(), vantage,
+    entries.push_back(SpoolEntry{dirent.path().string(), vantage, incarnation,
                                  publish_index});
   }
   std::sort(entries.begin(), entries.end(),
             [](const SpoolEntry& a, const SpoolEntry& b) {
               if (a.vantage != b.vantage) return a.vantage < b.vantage;
+              if (a.incarnation != b.incarnation) {
+                return a.incarnation < b.incarnation;
+              }
               if (a.publish_index != b.publish_index) {
                 return a.publish_index < b.publish_index;
               }

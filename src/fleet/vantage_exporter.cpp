@@ -32,9 +32,24 @@ bool VantageExporter::publish_manifest() {
   return publish_frame(std::move(frame));
 }
 
+namespace {
+
+RttHistogramSection to_section(const analytics::LogHistogram& hist) {
+  RttHistogramSection section;
+  section.log_min = hist.log_min();
+  section.log_step = hist.log_step();
+  section.seen_min = hist.min();
+  section.seen_max = hist.max();
+  section.bins = hist.bins();
+  return section;
+}
+
+}  // namespace
+
 bool VantageExporter::publish_epoch(std::uint64_t epoch, std::uint64_t cursor,
                                     const core::CheckpointImage* checkpoint,
-                                    std::string telemetry) {
+                                    std::string telemetry,
+                                    const analytics::LogHistogram* rtt_histogram) {
   SnapshotFrame frame;
   frame.header.vantage = config_.vantage;
   frame.header.epoch = epoch;
@@ -46,6 +61,10 @@ bool VantageExporter::publish_epoch(std::uint64_t epoch, std::uint64_t cursor,
   }
   frame.has_telemetry = true;
   frame.telemetry = std::move(telemetry);
+  if (rtt_histogram != nullptr) {
+    frame.has_rtt_histogram = true;
+    frame.rtt_histogram = to_section(*rtt_histogram);
+  }
   return publish_frame(std::move(frame));
 }
 
@@ -61,7 +80,8 @@ bool VantageExporter::publish_heartbeat(std::uint64_t epoch,
 
 bool VantageExporter::publish_final(std::uint64_t epoch, std::uint64_t cursor,
                                     const core::CheckpointImage* checkpoint,
-                                    std::string telemetry) {
+                                    std::string telemetry,
+                                    const analytics::LogHistogram* rtt_histogram) {
   SnapshotFrame frame;
   frame.header.vantage = config_.vantage;
   frame.header.epoch = epoch;
@@ -73,6 +93,10 @@ bool VantageExporter::publish_final(std::uint64_t epoch, std::uint64_t cursor,
   }
   frame.has_telemetry = true;
   frame.telemetry = std::move(telemetry);
+  if (rtt_histogram != nullptr) {
+    frame.has_rtt_histogram = true;
+    frame.rtt_histogram = to_section(*rtt_histogram);
+  }
   return publish_frame(std::move(frame));
 }
 
@@ -88,6 +112,15 @@ bool VantageExporter::publish_frame(SnapshotFrame frame) {
       // the sequence number is never consumed and nothing is delivered.
       killed_ = true;
       return false;
+    }
+    // Epoch skew rewrites the header *before* sealing: the frame is
+    // internally consistent (valid CRC, matching cursor/telemetry), only
+    // its claimed barrier is wrong — the collector's alignment layer, not
+    // the envelope, has to catch it. The manifest carries no epoch.
+    std::uint64_t skewed = 0;
+    if (frame.header.kind != FrameKind::kManifest &&
+        faults_->exporter_skewed_epoch(frame.header.epoch, &skewed)) {
+      frame.header.epoch = skewed;
     }
   }
 #endif

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/histogram.hpp"
 #include "core/stats.hpp"
 #include "fleet/frame.hpp"
 #include "fleet/snapshot_sink.hpp"
@@ -58,11 +59,15 @@ class VantageExporter {
   bool publish_manifest();
 
   /// Cumulative state at epoch barrier `epoch`, after `cursor` packets.
-  /// Either section may be omitted (a sharded vantage has no single
-  /// checkpoint image; a checkpoint-less deployment may send stats only).
+  /// Either optional section may be omitted (a sharded vantage has no
+  /// single checkpoint image; a checkpoint-less deployment may send stats
+  /// only). `rtt_histogram`, when given, is the vantage's *cumulative*
+  /// log-binned RTT distribution — the collector folds it into the fleet
+  /// quantiles, so its count must equal the telemetry's samples counter.
   bool publish_epoch(std::uint64_t epoch, std::uint64_t cursor,
                      const core::CheckpointImage* checkpoint,
-                     std::string telemetry);
+                     std::string telemetry,
+                     const analytics::LogHistogram* rtt_histogram = nullptr);
 
   /// Progress-only liveness signal between state frames.
   bool publish_heartbeat(std::uint64_t epoch, std::uint64_t cursor);
@@ -70,7 +75,8 @@ class VantageExporter {
   /// Last cumulative state; marks the stream complete.
   bool publish_final(std::uint64_t epoch, std::uint64_t cursor,
                      const core::CheckpointImage* checkpoint,
-                     std::string telemetry);
+                     std::string telemetry,
+                     const analytics::LogHistogram* rtt_histogram = nullptr);
 
   /// True once a kill fault (or sink failure) has fired: the process is
   /// considered crashed and every later publish is a no-op returning false.

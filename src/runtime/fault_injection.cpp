@@ -77,6 +77,16 @@ FaultPlan& FaultPlan::exporter_reorder(std::uint64_t sequence) {
   return *this;
 }
 
+FaultPlan& FaultPlan::exporter_epoch_skew(std::int64_t offset,
+                                          std::int64_t drift_per_epoch,
+                                          std::uint64_t lag) {
+  exporter_.has_skew = true;
+  exporter_.skew_offset = offset;
+  exporter_.skew_drift = drift_per_epoch;
+  exporter_.skew_lag = lag;
+  return *this;
+}
+
 FaultPlan::Action FaultPlan::exporter_before_publish(
     std::uint64_t frames_published) {
   if (frames_published >= exporter_.kill_after) {
@@ -114,6 +124,20 @@ bool FaultPlan::exporter_hold_frame(std::uint64_t sequence) const {
     if (seq == sequence) return true;
   }
   return false;
+}
+
+bool FaultPlan::exporter_skewed_epoch(std::uint64_t epoch,
+                                      std::uint64_t* skewed) const {
+  if (!exporter_.has_skew) return false;
+  // Signed arithmetic so offset/drift can run the clock backwards; a skew
+  // that would underflow epoch 0 clamps there (epochs are unsigned on the
+  // wire).
+  long long value = static_cast<long long>(epoch);
+  value += exporter_.skew_offset;
+  value += exporter_.skew_drift * static_cast<long long>(epoch);
+  value -= static_cast<long long>(exporter_.skew_lag);
+  *skewed = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+  return true;
 }
 
 FaultPlan::Action FaultPlan::before_pop(std::uint32_t shard,

@@ -101,6 +101,17 @@ class FaultPlan {
   /// successor: the collector sees sequence order ..., s+1, s, ...
   FaultPlan& exporter_reorder(std::uint64_t sequence);
 
+  /// The vantage's epoch clock disagrees with the fleet: every non-manifest
+  /// frame's epoch header is rewritten to
+  ///   epoch + offset + drift_per_epoch * epoch - lag   (clamped at 0)
+  /// *before sealing* — the frame is internally consistent (valid CRC,
+  /// telemetry, checkpoint), only its notion of which barrier it describes
+  /// is skewed. `offset` models a constant clock offset, `drift_per_epoch`
+  /// a clock running fast/slow, `lag` a vantage reporting epochs late.
+  FaultPlan& exporter_epoch_skew(std::int64_t offset,
+                                 std::int64_t drift_per_epoch = 0,
+                                 std::uint64_t lag = 0);
+
   /// Exporter hook: called before each publish with the number of frames
   /// already published. kExit fires the kill fault; stall delays happen
   /// inside this call.
@@ -116,6 +127,10 @@ class FaultPlan {
 
   /// Exporter hook: true if frame `sequence` must be held for reordering.
   bool exporter_hold_frame(std::uint64_t sequence) const;
+
+  /// Exporter hook: true if the epoch-skew fault is armed; `*skewed` gets
+  /// the rewritten epoch for a frame whose true epoch is `epoch`.
+  bool exporter_skewed_epoch(std::uint64_t epoch, std::uint64_t* skewed) const;
 
   /// Worker hook: called before each pop attempt with the number of batches
   /// this worker has fully processed. kExit means "die now" (kill fault);
@@ -162,6 +177,10 @@ class FaultPlan {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> truncate;
     std::vector<std::uint64_t> duplicate;
     std::vector<std::uint64_t> reorder;
+    bool has_skew = false;
+    std::int64_t skew_offset = 0;
+    std::int64_t skew_drift = 0;
+    std::uint64_t skew_lag = 0;
   };
 
   ShardFaults& shard_faults(std::uint32_t shard);

@@ -24,6 +24,11 @@
 //   CON007  exporter code (the fleet spool publishers) must write through
 //           telemetry::write_atomic — a raw ofstream/fopen/fwrite/rename
 //           can expose a torn frame to a concurrently scanning collector
+//   CON008  no wall-clock reads in collector decision paths — fencing,
+//           gap grace, and skew healing are counted in poll attempts, so
+//           the same spool always yields the same report; a ::now() (or a
+//           deadline wait built on one) smuggles wall time back into the
+//           decisions (sleep_for pacing between polls stays legal)
 //
 // The checker is lexical by design: no compiler, no flags, no compile
 // database — it runs identically on every developer box and in CI, and the
@@ -78,6 +83,7 @@ struct FileClass {
   bool exported = false;
   bool threads_ok = false;
   bool exporter = false;
+  bool collector = false;
 };
 
 struct RuleInfo {
@@ -93,6 +99,7 @@ constexpr RuleInfo kRules[] = {
     {"CON005", "mutex-guarded field missing DART_GUARDED_BY"},
     {"CON006", "mutex locked outside an RAII scope"},
     {"CON007", "raw filesystem write in exporter code (use write_atomic)"},
+    {"CON008", "wall-clock read in collector decision path"},
 };
 
 // ---------------------------------------------------------------------------
@@ -609,6 +616,37 @@ void check_con007(const std::string& code,
   }
 }
 
+void check_con008(const std::string& code,
+                  const std::vector<std::size_t>& lines,
+                  const std::string& file, std::vector<Finding>& findings) {
+  // The collector's contract is poll-attempt-counted determinism: fencing,
+  // gap grace, and skew healing must be functions of (spool contents, poll
+  // count), never of when the polls happened. Any ::now() read — or a
+  // wait_for/wait_until/sleep_until deadline built on one — lets wall time
+  // back into those decisions. sleep_for between polls is deliberately
+  // legal: it spaces the polls out without any decision observing a clock.
+  static const std::regex kNowCall(R"(\b[A-Za-z_]\w*\s*::\s*now\s*\()");
+  static const std::regex kDeadlineWait(
+      R"(\b(wait_for|wait_until|sleep_until)\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kNowCall), end;
+       it != end; ++it) {
+    findings.push_back(
+        {"CON008", file,
+         line_of(lines, static_cast<std::size_t>(it->position())),
+         "wall-clock read in collector code; decisions must be counted in "
+         "poll attempts so the same spool always yields the same report"});
+  }
+  for (std::sregex_iterator it(code.begin(), code.end(), kDeadlineWait), end;
+       it != end; ++it) {
+    findings.push_back(
+        {"CON008", file,
+         line_of(lines, static_cast<std::size_t>(it->position())),
+         (*it)[1].str() +
+             "() deadline in collector code; pace with sleep_for and count "
+             "decisions in poll attempts, not elapsed time"});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -632,6 +670,9 @@ FileClass classify(const std::string& rel) {
   // Everything that publishes snapshot frames for a concurrent reader:
   // the fleet subsystem and the dart-fleet CLI around it.
   fc.exporter = starts("src/fleet/") || rel == "src/tools/dart_fleet.cpp";
+  // The merge side: its fencing/grace/skew decisions are poll-counted.
+  fc.collector =
+      rel == "src/fleet/collector.cpp" || rel == "src/fleet/collector.hpp";
   return fc;
 }
 
@@ -681,6 +722,7 @@ bool analyze_file(const fs::path& path, const std::string& display,
   check_con005(code, lines, display, out.findings);
   check_con006(code, lines, display, out.findings);
   if (fc.exporter) check_con007(code, lines, display, out.findings);
+  if (fc.collector) check_con008(code, lines, display, out.findings);
   return true;
 }
 
@@ -694,7 +736,8 @@ void print_usage(std::ostream& out) {
          "\n"
          "Options:\n"
          "  --treat-as CLASS  classify explicit files as hotpath|\n"
-         "                    deterministic|export|exporter|threads-ok|plain\n"
+         "                    deterministic|export|exporter|collector|\n"
+         "                    threads-ok|plain\n"
          "                    (default: plain; CON005/CON006 always apply)\n"
          "  --waivers FILE    load a tree waiver file in fixture mode\n"
          "  --quiet           diagnostics only, no summary line\n"
@@ -763,6 +806,8 @@ int main(int argc, char** argv) {
     fixture_class.exported = true;
   } else if (treat_as == "exporter") {
     fixture_class.exporter = true;
+  } else if (treat_as == "collector") {
+    fixture_class.collector = true;
   } else if (treat_as == "threads-ok") {
     fixture_class.threads_ok = true;
   } else if (treat_as != "plain") {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/histogram.hpp"
 #include "core/dart_monitor.hpp"
 #include "fleet/collector.hpp"
 #include "fleet/snapshot_sink.hpp"
@@ -69,6 +70,9 @@ void print_usage(std::ostream& out) {
          "    --epochs E                epoch barriers to publish (default 4)\n"
          "    --shards K                worker shards; 1 = single monitor\n"
          "                              with checkpoint frames (default 1)\n"
+         "    --incarnation N           restart incarnation tag: publish\n"
+         "                              slots never collide with an earlier\n"
+         "                              incarnation's files (default 0)\n"
          "    --fault-kill-after N      crash before publishing frame N\n"
          "    --fault-stall F:C:MS      stall frames [F, F+C) by MS ms\n"
          "    --fault-truncate S[:K]    deliver frame seq S torn at K bytes\n"
@@ -76,6 +80,11 @@ void print_usage(std::ostream& out) {
          "    --fault-duplicate S       deliver frame seq S twice\n"
          "    --fault-reorder S         deliver frame seq S after its\n"
          "                              successor\n"
+         "    --fault-skew-offset K     epoch headers skewed by constant K\n"
+         "                              (signed)\n"
+         "    --fault-skew-drift D      epoch headers drift by D per epoch\n"
+         "                              (signed)\n"
+         "    --fault-epoch-lag N       epoch headers lag N barriers behind\n"
          "  collect                     merge vantage streams\n"
          "    --spool DIR --vantages M\n"
          "    --out FILE                write the report atomically\n"
@@ -84,6 +93,10 @@ void print_usage(std::ostream& out) {
          "                              vantage is fenced (default 8)\n"
          "    --gap-grace N             polls a sequence gap stays open\n"
          "                              (default 3)\n"
+         "    --skew-grace N            epochs a claimed barrier may sit\n"
+         "                              from the cursor-derived one before\n"
+         "                              quarantine (default 2)\n"
+         "    --skew-out FILE           write the skew diagnostics report\n"
          "    --max-attempts N          poll budget (default 64)\n"
          "    --poll-base-ms N          retry backoff base (default 20)\n"
          "    --poll-max-ms N           retry backoff cap (default 500)\n"
@@ -95,7 +108,7 @@ void print_usage(std::ostream& out) {
          "    --vantages M --seed S --connections N --epochs E\n"
          "    --fault-vantage I         vantage the fault flags apply to\n"
          "                              (default 1)\n"
-         "    --out FILE --check --quiet\n"
+         "    --out FILE --skew-out FILE --skew-grace N --check --quiet\n"
          "    (fault flags as for vantage)\n";
 }
 
@@ -103,6 +116,15 @@ bool parse_u64(const std::string& text, std::uint64_t* out) {
   if (text.empty()) return false;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
   *out = value;
   return true;
@@ -118,6 +140,10 @@ struct FaultOptions {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> truncate;
   std::vector<std::uint64_t> duplicate;
   std::vector<std::uint64_t> reorder;
+  bool has_skew = false;
+  std::int64_t skew_offset = 0;
+  std::int64_t skew_drift = 0;
+  std::uint64_t epoch_lag = 0;
 };
 
 struct VantageOptions {
@@ -130,6 +156,7 @@ struct VantageOptions {
   std::uint64_t duration_s = 6;
   std::uint64_t epochs = 4;
   std::uint64_t shards = 1;
+  std::uint64_t incarnation = 0;
   FaultOptions faults;
   /// Demo mode: a kill fault ends this vantage's loop instead of
   /// terminating the process.
@@ -185,6 +212,21 @@ int parse_fault_flag(const std::string& arg, const std::string& value,
     faults->any = true;
     return 1;
   }
+  if (arg == "--fault-skew-offset" || arg == "--fault-skew-drift") {
+    std::int64_t amount = 0;
+    if (!has_value || !parse_i64(value, &amount)) return -1;
+    (arg == "--fault-skew-offset" ? faults->skew_offset
+                                  : faults->skew_drift) = amount;
+    faults->has_skew = true;
+    faults->any = true;
+    return 1;
+  }
+  if (arg == "--fault-epoch-lag") {
+    if (!has_value || !parse_u64(value, &faults->epoch_lag)) return -1;
+    faults->has_skew = true;
+    faults->any = true;
+    return 1;
+  }
   return 0;
 }
 
@@ -204,6 +246,10 @@ void apply_faults(const FaultOptions& options, dart::runtime::FaultPlan& plan) {
     plan.exporter_duplicate(seq);
   }
   for (const std::uint64_t seq : options.reorder) plan.exporter_reorder(seq);
+  if (options.has_skew) {
+    plan.exporter_epoch_skew(options.skew_offset, options.skew_drift,
+                             options.epoch_lag);
+  }
 }
 #endif
 
@@ -232,7 +278,13 @@ std::vector<PacketRecord> build_slice(const VantageOptions& options) {
 int run_vantage_single(const std::vector<PacketRecord>& slice,
                        dart::fleet::VantageExporter& exporter,
                        std::uint64_t interval) {
-  dart::core::DartMonitor monitor(dart::core::DartConfig{});
+  // Cumulative RTT distribution, fed straight off the sample callback:
+  // every state frame carries the histogram-so-far, so the collector's
+  // fleet-wide quantiles stay exact whichever frame it last accepted.
+  dart::analytics::LogHistogram rtt;
+  dart::core::DartMonitor monitor(
+      dart::core::DartConfig{},
+      [&rtt](const dart::core::RttSample& sample) { rtt.add(sample.rtt()); });
   std::uint64_t epoch = 0;
   for (std::size_t i = 0; i < slice.size(); ++i) {
     monitor.process(slice[i]);
@@ -244,7 +296,7 @@ int run_vantage_single(const std::vector<PacketRecord>& slice,
     const dart::core::DartStats stats = monitor.stats();
     const std::string telemetry = dart::fleet::render_vantage_telemetry(
         std::span(&stats, 1), std::span(&cursor, 1));
-    exporter.publish_epoch(epoch, cursor, &image, telemetry);
+    exporter.publish_epoch(epoch, cursor, &image, telemetry, &rtt);
     if (exporter.killed()) return kExitKilled;
   }
   const std::uint64_t cursor = slice.size();
@@ -253,7 +305,7 @@ int run_vantage_single(const std::vector<PacketRecord>& slice,
   const dart::core::DartStats stats = monitor.stats();
   const std::string telemetry = dart::fleet::render_vantage_telemetry(
       std::span(&stats, 1), std::span(&cursor, 1));
-  exporter.publish_final(epoch + 1, cursor, &image, telemetry);
+  exporter.publish_final(epoch + 1, cursor, &image, telemetry, &rtt);
   return exporter.killed() ? kExitKilled : kExitOk;
 }
 
@@ -284,10 +336,18 @@ int run_vantage_sharded(const VantageOptions& options,
         stats.packets_processed + stats.runtime.shed_packets +
         stats.runtime.abandoned_packets + stats.runtime.lost_to_crash);
   }
+  // The sharded runtime only settles its sample stream at finish(), so the
+  // histogram rides the final frame (heartbeats at the barriers carry no
+  // state anyway).
+  dart::analytics::LogHistogram rtt;
+  for (const dart::core::RttSample& sample : monitor.merged_samples()) {
+    rtt.add(sample.rtt());
+  }
   const std::uint64_t epochs_fired = slice.size() / interval;
   exporter.publish_final(
       epochs_fired + 1, slice.size(), nullptr,
-      dart::fleet::render_vantage_telemetry(per_shard, routed_per_shard));
+      dart::fleet::render_vantage_telemetry(per_shard, routed_per_shard),
+      &rtt);
   return exporter.killed() ? kExitKilled : kExitOk;
 }
 
@@ -337,7 +397,7 @@ int cmd_vantage(const VantageOptions& options) {
     std::cerr << "dart-fleet vantage: need --spool and --id < --vantages\n";
     return kExitUsage;
   }
-  dart::fleet::SpoolSink sink(options.spool);
+  dart::fleet::SpoolSink sink(options.spool, options.incarnation);
   const int code = run_vantage(options, sink);
   if (code == kExitKilled) {
     // The kill fault models a crash: stop the process abruptly so any
@@ -351,6 +411,7 @@ struct CollectOptions {
   std::string spool;
   std::uint64_t vantages = 4;
   std::string out;
+  std::string skew_out;
   bool check = false;
   bool quiet = false;
   dart::fleet::CollectorConfig config;
@@ -369,6 +430,13 @@ int cmd_collect(CollectOptions options) {
   if (!options.out.empty() &&
       !dart::telemetry::write_atomic(options.out, report)) {
     std::cerr << "dart-fleet collect: cannot write " << options.out << "\n";
+    return kExitFailure;
+  }
+  if (!options.skew_out.empty() &&
+      !dart::telemetry::write_atomic(options.skew_out,
+                                     collector.skew_report_text())) {
+    std::cerr << "dart-fleet collect: cannot write " << options.skew_out
+              << "\n";
     return kExitFailure;
   }
   if (!options.quiet) std::cout << report;
@@ -410,8 +478,10 @@ struct DemoOptions {
   std::uint64_t duration_s = 6;
   std::uint64_t epochs = 4;
   std::uint64_t fault_vantage = 1;
+  std::uint64_t skew_grace = 2;
   FaultOptions faults;
   std::string out;
+  std::string skew_out;
   bool check = false;
   bool quiet = false;
 };
@@ -450,8 +520,10 @@ int cmd_demo(const DemoOptions& options) {
   collect.spool = options.dir;
   collect.vantages = options.vantages;
   collect.out = options.out;
+  collect.skew_out = options.skew_out;
   collect.check = options.check;
   collect.quiet = options.quiet;
+  collect.config.skew_grace_epochs = options.skew_grace;
   return cmd_collect(std::move(collect));
 }
 
@@ -494,6 +566,7 @@ int main(int argc, char** argv) {
       else if (arg == "--duration-s") number = &options.duration_s;
       else if (arg == "--epochs") number = &options.epochs;
       else if (arg == "--shards") number = &options.shards;
+      else if (arg == "--incarnation") number = &options.incarnation;
       if (number != nullptr) {
         if (!has_value(i) || !parse_u64(args[++i], number)) {
           std::cerr << "dart-fleet vantage: bad value for " << arg << "\n";
@@ -525,6 +598,8 @@ int main(int argc, char** argv) {
         number = &options.config.fence_after_attempts;
       else if (arg == "--gap-grace")
         number = &options.config.gap_grace_attempts;
+      else if (arg == "--skew-grace")
+        number = &options.config.skew_grace_epochs;
       else if (arg == "--max-attempts") number = &options.config.max_attempts;
       else if (arg == "--retry-seed") number = &options.config.retry.seed;
       else if (arg == "--poll-base-ms") number = &poll_base_ms;
@@ -546,6 +621,8 @@ int main(int argc, char** argv) {
         options.spool = args[++i];
       } else if (arg == "--out" && has_value(i)) {
         options.out = args[++i];
+      } else if (arg == "--skew-out" && has_value(i)) {
+        options.skew_out = args[++i];
       } else if (arg == "--check") {
         options.check = true;
       } else if (arg == "--quiet") {
@@ -587,6 +664,7 @@ int main(int argc, char** argv) {
       else if (arg == "--duration-s") number = &options.duration_s;
       else if (arg == "--epochs") number = &options.epochs;
       else if (arg == "--fault-vantage") number = &options.fault_vantage;
+      else if (arg == "--skew-grace") number = &options.skew_grace;
       if (number != nullptr) {
         if (!has_value(i) || !parse_u64(args[++i], number)) {
           std::cerr << "dart-fleet demo: bad value for " << arg << "\n";
@@ -598,6 +676,8 @@ int main(int argc, char** argv) {
         options.dir = args[++i];
       } else if (arg == "--out" && has_value(i)) {
         options.out = args[++i];
+      } else if (arg == "--skew-out" && has_value(i)) {
+        options.skew_out = args[++i];
       } else if (arg == "--check") {
         options.check = true;
       } else if (arg == "--quiet") {

@@ -1,0 +1,31 @@
+// dart-analyze fixture: collector-class code whose fencing and grace
+// decisions are counted in poll attempts, pacing between polls with a
+// plain sleep_for (legal — no decision observes a clock). Accepted under
+// --treat-as collector.
+namespace fixture {
+
+void sleep_for(unsigned long nanoseconds);
+
+struct Vantage {
+  unsigned long attempts_without_progress = 0;
+  bool fenced = false;
+};
+
+bool poll_once(Vantage& vantage);
+
+unsigned long run(Vantage& vantage, unsigned long fence_after_attempts,
+                  unsigned long max_attempts) {
+  unsigned long polls = 0;
+  while (polls < max_attempts && !vantage.fenced) {
+    ++polls;
+    if (poll_once(vantage)) {
+      vantage.attempts_without_progress = 0;
+    } else if (++vantage.attempts_without_progress >= fence_after_attempts) {
+      vantage.fenced = true;
+    }
+    sleep_for(1000000UL * polls);
+  }
+  return polls;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// dart-analyze fixture: collector-class code that fences on elapsed wall
+// time — a steady_clock::now() read feeding the fencing decision and a
+// wait_for deadline — so two runs over one spool can disagree. Rejected
+// (CON008 four times: two ::now() reads, two wait_for mentions).
+namespace fixture {
+
+struct time_point {
+  long long ns = 0;
+};
+
+struct steady_clock {
+  static time_point now();
+};
+
+struct condition_variable {
+  template <typename Lock>
+  bool wait_for(Lock& lock, long long timeout_ns);
+};
+
+struct Vantage {
+  time_point last_progress;
+  bool fenced = false;
+};
+
+void fence_if_silent(Vantage& vantage, long long deadline_ns) {
+  const time_point current = steady_clock::now();
+  if (current.ns - vantage.last_progress.ns > deadline_ns) {
+    vantage.fenced = true;
+  }
+}
+
+template <typename Lock>
+bool await_frame(condition_variable& cv, Lock& lock, Vantage& vantage) {
+  const bool signalled = cv.wait_for(lock, 1000000LL);
+  if (signalled) vantage.last_progress = steady_clock::now();
+  return signalled;
+}
+
+}  // namespace fixture

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/histogram.hpp"
 #include "core/dart_monitor.hpp"
 #include "fleet/frame.hpp"
 #include "fleet/snapshot_sink.hpp"
@@ -360,6 +361,290 @@ TEST(FleetCollector, EmptySpoolDirectoryIsMissingFleetNotACrash) {
   }
   std::string error;
   EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch alignment under skew: the cursor is the trusted clock.
+// ---------------------------------------------------------------------------
+
+/// The clean stream with every state epoch claimed `skew` epochs early.
+void publish_skewed_stream(SnapshotSink& sink, std::uint64_t vantage,
+                           std::uint64_t skew) {
+  VantageExporter exporter(vantage_config(vantage, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1 + skew, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2 + skew, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+}
+
+TEST(FleetCollectorSkew, WithinGraceHealsToByteIdenticalReport) {
+  const std::string clean_dir = fresh_dir("skew_clean");
+  SpoolSink clean_sink(clean_dir);
+  publish_clean_stream(clean_sink, 0);
+  FleetCollector clean(offline_config(clean_dir, 1));
+  clean.run();
+
+  const std::string skew_dir = fresh_dir("skew_healed");
+  SpoolSink skew_sink(skew_dir);
+  publish_skewed_stream(skew_sink, 0, 2);  // at the default grace boundary
+  FleetCollector skewed(offline_config(skew_dir, 1));
+  skewed.run();
+
+  // Every skewed frame healed: nothing quarantined, cursor complete, and
+  // the canonical report — aligned epochs, watermark, identity counters —
+  // is byte-for-byte the clean fleet's report.
+  EXPECT_TRUE(skewed.quarantined().empty());
+  EXPECT_EQ(skewed.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(skewed.report_text(), clean.report_text());
+
+  // The skew did not vanish: the estimator sees it, in the side channel.
+  EXPECT_GT(skewed.status(0).epoch_skew, 0);
+  EXPECT_EQ(clean.status(0).epoch_skew, 0);
+  EXPECT_NE(skewed.skew_report_text(), clean.skew_report_text());
+  EXPECT_NE(skewed.skew_report_text().find("fleet_epoch_skew"),
+            std::string::npos);
+}
+
+TEST(FleetCollectorSkew, BeyondGraceQuarantinesExactly) {
+  const std::string dir = fresh_dir("skew_beyond");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  // Claimed epoch 9 against an aligned barrier of 1: skew 8 > grace 2.
+  ASSERT_TRUE(exporter.publish_epoch(9, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kExcessiveSkew), 1u);
+  // The quarantined frame consumed its sequence slot (it was adjudicated,
+  // not lost); the cumulative final still completes the vantage losslessly.
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_EQ(collector.status(0).frames_missing, 0u);
+  EXPECT_EQ(collector.status(0).cursor, 200u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+  EXPECT_NE(collector.report_text().find("excessive-skew"),
+            std::string::npos);
+}
+
+TEST(FleetCollectorSkew, ExcessiveSkewFreezesTheLossCursor) {
+  const std::string dir = fresh_dir("skew_loss");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 400), sink);  // interval 200
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+  // The final arrives with a hopeless clock: quarantined, so the cursor
+  // must stay at 200 and the loss window must be exactly 400 - 200.
+  ASSERT_TRUE(exporter.publish_final(77, 400, nullptr,
+                                     clean_telemetry(400, 40)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kExcessiveSkew), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kStale);
+  EXPECT_EQ(collector.status(0).cursor, 200u);
+  EXPECT_EQ(collector.status(0).lost_to_vantage(), 200u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+  EXPECT_NE(collector.report_text().find(
+                "fleet_lost_to_vantage_total{vantage=\"v0\"} 200"),
+            std::string::npos);
+}
+
+TEST(FleetCollectorSkew, WatermarkIsTheSlowestAlignedVantage) {
+  const std::string dir = fresh_dir("watermark");
+  SpoolSink sink(dir);
+  publish_clean_stream(sink, 0);  // aligned epoch 2 at completion
+  VantageExporter lagger(vantage_config(1, 200), sink);
+  ASSERT_TRUE(lagger.publish_manifest());
+  // Vantage 1 has only exported epoch 1 — but claims 3. The watermark is
+  // measured in aligned epochs, so the skewed claim cannot drag the fleet
+  // forward past what its cursor actually covers.
+  ASSERT_TRUE(lagger.publish_epoch(3, 100, nullptr,
+                                   clean_telemetry(100, 10)));
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.poll();  // both vantages live, nobody fenced yet
+  EXPECT_EQ(collector.status(0).aligned_epoch(), 2u);
+  EXPECT_EQ(collector.status(1).aligned_epoch(), 1u);
+  EXPECT_EQ(collector.epoch_watermark(), 1u);
+  EXPECT_NE(collector.report_text().find("fleet_epoch_watermark 1"),
+            std::string::npos);
+
+  // Once the lagger is fenced stale it stops holding the watermark back.
+  collector.finalize();
+  EXPECT_EQ(collector.status(1).state, VantageState::kStale);
+  EXPECT_EQ(collector.epoch_watermark(), 2u);
+}
+
+// Satellite regression: a heartbeat with a wildly skewed claimed epoch
+// still proves liveness — and moves neither the loss cursor, the skew
+// estimate, nor the watermark.
+TEST(FleetCollectorSkew, SkewedHeartbeatProvesLivenessMovesNothing) {
+  const std::string dir = fresh_dir("skewed_heartbeat");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.poll();
+  ASSERT_EQ(collector.status(0).state, VantageState::kLive);
+  const std::uint64_t watermark_before = collector.epoch_watermark();
+
+  // The vantage's clock goes insane but the process is alive: heartbeats
+  // claim epoch 60, far beyond any grace window.
+  ASSERT_TRUE(exporter.publish_heartbeat(60, 450));
+  collector.poll();
+  const VantageStatus& status = collector.status(0);
+  EXPECT_EQ(status.state, VantageState::kLive);
+  EXPECT_EQ(status.attempts_without_progress, 0u);  // liveness proven
+  EXPECT_TRUE(collector.quarantined().empty());
+  EXPECT_EQ(status.cursor, 100u);                   // loss cursor frozen
+  EXPECT_EQ(status.epoch_skew, 0);                  // estimator untouched
+  EXPECT_EQ(status.aligned_epoch(), 1u);
+  EXPECT_EQ(collector.epoch_watermark(), watermark_before);
+}
+
+// Adversarial cursor at the integer ceiling: the claimed epoch is light
+// years from the cursor-derived barrier, so the alignment gate quarantines
+// the frame — no overflow, no crash, and the loss window stays exact.
+TEST(FleetCollectorSkew, CursorAtIntegerCeilingQuarantinesSafely) {
+  const std::string dir = fresh_dir("cursor_ceiling");
+  SpoolSink sink(dir);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  // 2^63 survives the double round trip through the telemetry text, so
+  // the frame is internally consistent — only the alignment gate is left
+  // to catch it.
+  const std::uint64_t huge = std::uint64_t{1} << 63;
+  ASSERT_TRUE(exporter.publish_epoch(1, huge, nullptr,
+                                     clean_telemetry(huge, 10)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kExcessiveSkew), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kStale);
+  EXPECT_EQ(collector.status(0).cursor, 0u);
+  EXPECT_EQ(collector.status(0).lost_to_vantage(), 200u);
+  std::string error;
+  EXPECT_TRUE(check_fleet_identity(collector.report_text(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-wide RTT histogram merging.
+// ---------------------------------------------------------------------------
+
+void publish_stream_with_rtt(SnapshotSink& sink, std::uint64_t vantage,
+                             const std::vector<std::uint64_t>& rtts) {
+  analytics::LogHistogram hist;
+  for (const std::uint64_t rtt : rtts) hist.add(rtt);
+  VantageExporter exporter(vantage_config(vantage, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(
+      1, 100, nullptr, clean_telemetry(100, rtts.size()), &hist));
+  ASSERT_TRUE(exporter.publish_final(
+      2, 200, nullptr, clean_telemetry(200, rtts.size()), &hist));
+}
+
+TEST(FleetCollectorRtt, MergedHistogramMatchesSingleCollectorReference) {
+  const std::vector<std::uint64_t> v0_rtts = {50'000, 230'000, 230'000};
+  const std::vector<std::uint64_t> v1_rtts = {1'200'000, 8'000'000};
+  const std::string dir = fresh_dir("rtt_merge");
+  SpoolSink sink(dir);
+  publish_stream_with_rtt(sink, 0, v0_rtts);
+  publish_stream_with_rtt(sink, 1, v1_rtts);
+
+  FleetCollector collector(offline_config(dir, 2));
+  collector.run();
+  ASSERT_TRUE(collector.quarantined().empty());
+
+  // Reference: one histogram fed every sample directly — what a single
+  // collector observing the whole fleet would have built.
+  analytics::LogHistogram reference;
+  for (const std::uint64_t rtt : v0_rtts) reference.add(rtt);
+  for (const std::uint64_t rtt : v1_rtts) reference.add(rtt);
+
+  std::uint64_t contributors = 0;
+  const analytics::LogHistogram merged =
+      collector.merged_rtt_histogram(&contributors);
+  EXPECT_EQ(contributors, 2u);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_EQ(merged.min(), reference.min());
+  EXPECT_EQ(merged.max(), reference.max());
+  EXPECT_EQ(merged.bins(), reference.bins());  // exact, not approximate
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), reference.quantile(q)) << "q=" << q;
+  }
+
+  // The quantile block renders, and the whole report — quantiles
+  // included — is byte-stable across independent collections.
+  const std::string report = collector.report_text();
+  EXPECT_NE(report.find("fleet_rtt_samples_total 5"), std::string::npos);
+  EXPECT_NE(report.find("fleet_rtt_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  FleetCollector again(offline_config(dir, 2));
+  again.run();
+  EXPECT_EQ(again.report_text(), report);
+}
+
+TEST(FleetCollectorRtt, HistogramCountMismatchQuarantines) {
+  const std::string dir = fresh_dir("rtt_mismatch");
+  SpoolSink sink(dir);
+  analytics::LogHistogram hist;
+  hist.add(75'000);
+  VantageExporter exporter(vantage_config(0, 200), sink);
+  ASSERT_TRUE(exporter.publish_manifest());
+  // Telemetry counts 10 samples; the histogram carries mass for 1. A
+  // frame that disagrees with itself is quarantined, not averaged in.
+  ASSERT_TRUE(exporter.publish_epoch(1, 100, nullptr,
+                                     clean_telemetry(100, 10), &hist));
+  ASSERT_TRUE(exporter.publish_final(2, 200, nullptr,
+                                     clean_telemetry(200, 20)));
+
+  FleetCollector collector(offline_config(dir, 1));
+  collector.run();
+  EXPECT_EQ(collector.quarantined_by(QuarantineReason::kStatsMismatch), 1u);
+  EXPECT_EQ(collector.status(0).state, VantageState::kComplete);
+  EXPECT_FALSE(collector.status(0).has_rtt_histogram);
+}
+
+// ---------------------------------------------------------------------------
+// Spool incarnations: a restarted vantage must not eat its predecessor.
+// ---------------------------------------------------------------------------
+
+TEST(FleetSpool, IncarnationTagPreventsRestartOverwrite) {
+  EXPECT_EQ(SpoolSink::file_name(3, 0, 7), SpoolSink::file_name(3, 7));
+  EXPECT_EQ(SpoolSink::file_name(3, 2, 7), "v000003-i0002-p0000000007.dfrm");
+
+  const std::string dir = fresh_dir("incarnation");
+  const std::vector<std::uint8_t> first = {0xAA, 0xBB};
+  const std::vector<std::uint8_t> second = {0xCC};
+  // Both incarnations of vantage 0 count publish slots from zero — the
+  // exact collision a restart produces.
+  SpoolSink predecessor(dir, 0);
+  ASSERT_TRUE(predecessor.publish(0, 0, first));
+  SpoolSink successor(dir, 1);
+  EXPECT_EQ(successor.incarnation(), 1u);
+  ASSERT_TRUE(successor.publish(0, 0, second));
+
+  const std::vector<SpoolEntry> entries = scan_spool(dir);
+  ASSERT_EQ(entries.size(), 2u);  // nothing overwritten
+  EXPECT_EQ(entries[0].incarnation, 0u);
+  EXPECT_EQ(entries[1].incarnation, 1u);
+  EXPECT_EQ(entries[0].vantage, 0u);
+  EXPECT_EQ(entries[0].publish_index, 0u);
+  EXPECT_EQ(entries[1].publish_index, 0u);
+  // The predecessor's bytes survived the restart intact.
+  std::vector<std::uint8_t> bytes;
+  ASSERT_FALSE(load_frame_file(entries[0].path, &bytes));
+  EXPECT_EQ(bytes, first);
 }
 
 TEST(FleetRetryPolicy, DeterministicBoundedJitteredSchedule) {

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "analytics/histogram.hpp"
 #include "fleet/frame.hpp"
 #include "fleet/snapshot_sink.hpp"
 #include "telemetry/export.hpp"
@@ -89,7 +90,86 @@ TEST(VantageExporter, RendersIdentityConsistentTelemetry) {
   EXPECT_EQ(telemetry::prom_value(samples, "dart_samples_total"), 120.0);
 }
 
+TEST(VantageExporter, PublishesRttHistogramSection) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  analytics::LogHistogram rtt;
+  rtt.add(50'000);   // 50 us
+  rtt.add(900'000);  // 900 us
+  rtt.add(900'000);
+  ASSERT_TRUE(exporter.publish_manifest());
+  ASSERT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n", &rtt));
+  // Heartbeats carry no sections, histogram included.
+  ASSERT_TRUE(exporter.publish_heartbeat(1, 300));
+  ASSERT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n", &rtt));
+
+  ASSERT_EQ(sink.entries().size(), 4u);
+  EXPECT_FALSE(decode_entry(sink.entries()[2]).has_rtt_histogram);
+  for (const std::size_t at : {std::size_t{1}, std::size_t{3}}) {
+    const SnapshotFrame frame = decode_entry(sink.entries()[at]);
+    ASSERT_TRUE(frame.has_rtt_histogram) << "entry " << at;
+    EXPECT_EQ(frame.rtt_histogram.total(), 3u);
+    EXPECT_EQ(frame.rtt_histogram.seen_min, 50'000u);
+    EXPECT_EQ(frame.rtt_histogram.seen_max, 900'000u);
+    EXPECT_EQ(frame.rtt_histogram.log_min, rtt.log_min());
+    EXPECT_EQ(frame.rtt_histogram.log_step, rtt.log_step());
+  }
+}
+
 #if defined(DART_FAULT_INJECTION)
+
+// The three skew shapes: a constant offset, per-epoch drift, and an epoch
+// lag. Each rewrites the sealed epoch header (frames re-seal, so they stay
+// CRC-valid — the collector must catch skew by alignment, not integrity);
+// the manifest never skews, and cursors are untouched.
+TEST(VantageExporterFaults, SkewOffsetShiftsEveryStateEpoch) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_epoch_skew(3);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_heartbeat(1, 300));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  ASSERT_EQ(sink.entries().size(), 4u);
+  EXPECT_EQ(decode_entry(sink.entries()[0]).header.epoch, 0u);
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.epoch, 4u);
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.epoch, 4u);
+  EXPECT_EQ(decode_entry(sink.entries()[3]).header.epoch, 5u);
+  // The trusted clock is untouched: cursors still tell the truth.
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.cursor, 200u);
+  EXPECT_EQ(decode_entry(sink.entries()[3]).header.cursor, 400u);
+}
+
+TEST(VantageExporterFaults, SkewDriftGrowsWithTheEpoch) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_epoch_skew(0, 2);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.epoch, 3u);  // 1 + 2*1
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.epoch, 6u);  // 2 + 2*2
+}
+
+TEST(VantageExporterFaults, EpochLagClampsAtZero) {
+  MemorySink sink;
+  VantageExporter exporter(small_config(), sink);
+  runtime::FaultPlan plan;
+  plan.exporter_epoch_skew(0, 0, 3);
+  exporter.set_fault_plan(&plan);
+
+  EXPECT_TRUE(exporter.publish_manifest());
+  EXPECT_TRUE(exporter.publish_epoch(1, 200, nullptr, "x 1\n"));
+  EXPECT_TRUE(exporter.publish_final(2, 400, nullptr, "x 2\n"));
+  EXPECT_EQ(decode_entry(sink.entries()[1]).header.epoch, 0u);  // 1-3 -> 0
+  EXPECT_EQ(decode_entry(sink.entries()[2]).header.epoch, 0u);  // 2-3 -> 0
+}
 
 TEST(VantageExporterFaults, KillStopsTheStreamBeforeTheFrame) {
   MemorySink sink;

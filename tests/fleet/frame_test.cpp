@@ -34,6 +34,24 @@ void patch_u32_at(std::vector<std::uint8_t>& bytes, std::size_t offset,
   }
 }
 
+void patch_u64_at(std::vector<std::uint8_t>& bytes, std::size_t offset,
+                  std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+RttHistogramSection sample_histogram() {
+  RttHistogramSection hist;
+  hist.log_min = 4.0;
+  hist.log_step = 0.05;
+  hist.seen_min = 12'000;
+  hist.seen_max = 9'000'000;
+  hist.bins = {0, 3, 17, 0, 80};
+  return hist;
+}
+
 TEST(FleetFrame, RoundTripsAllSections) {
   SnapshotFrame frame = sample_frame();
   frame.has_info = true;
@@ -195,6 +213,96 @@ TEST(FleetFrame, RejectsTrailingBytes) {
   const FrameError err = decode_frame(bytes, &decoded);
   EXPECT_EQ(err.code, FrameErrorCode::kTrailingBytes);
   EXPECT_EQ(err.offset, bytes.size() - 1);
+}
+
+TEST(FleetFrame, RoundTripsRttHistogramSection) {
+  SnapshotFrame frame = sample_frame();
+  frame.has_rtt_histogram = true;
+  frame.rtt_histogram = sample_histogram();
+
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  ASSERT_FALSE(err) << err.to_string();
+  ASSERT_TRUE(decoded.has_rtt_histogram);
+  EXPECT_EQ(decoded.rtt_histogram, frame.rtt_histogram);
+  EXPECT_EQ(decoded.rtt_histogram.total(), 100u);
+}
+
+// A CRC-valid histogram section must still satisfy layout sanity: a zero
+// or unbounded bin table and a non-finite log bound are typed field
+// errors, never an allocation or NaN ride into quantile math.
+TEST(FleetFrame, RejectsHostileHistogramLayouts) {
+  SnapshotFrame frame;
+  frame.header.kind = FrameKind::kEpoch;
+  frame.has_rtt_histogram = true;
+  frame.rtt_histogram = sample_histogram();
+  const std::vector<std::uint8_t> clean = encode_frame(frame);
+  // Histogram is the only section: payload starts after the u32 id + u64
+  // length header, bin_count after the four leading u64 fields.
+  const std::size_t payload_at = kFrameHeaderBytes + 12;
+  const std::size_t bin_count_at = payload_at + 32;
+  SnapshotFrame decoded;
+
+  for (const std::uint32_t bad_count : {0u, kMaxHistogramBins + 1}) {
+    std::vector<std::uint8_t> bytes = clean;
+    patch_u32_at(bytes, bin_count_at, bad_count);
+    reseal_frame(bytes);
+    const FrameError err = decode_frame(bytes, &decoded);
+    EXPECT_EQ(err.code, FrameErrorCode::kBadFieldValue)
+        << "bin_count " << bad_count;
+    EXPECT_EQ(err.offset, payload_at);
+  }
+
+  std::vector<std::uint8_t> bytes = clean;
+  patch_u64_at(bytes, payload_at, 0x7FF0000000000000ULL);  // log_min = +inf
+  reseal_frame(bytes);
+  EXPECT_EQ(decode_frame(bytes, &decoded).code,
+            FrameErrorCode::kBadFieldValue);
+}
+
+TEST(FleetFrame, RejectsHistogramWithInvertedRangeAndMass) {
+  SnapshotFrame frame;
+  frame.header.kind = FrameKind::kEpoch;
+  frame.has_rtt_histogram = true;
+  frame.rtt_histogram = sample_histogram();
+  frame.rtt_histogram.seen_min = 10;
+  frame.rtt_histogram.seen_max = 1;
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  SnapshotFrame decoded;
+  const FrameError err = decode_frame(bytes, &decoded);
+  EXPECT_EQ(err.code, FrameErrorCode::kBadFieldValue);
+  EXPECT_EQ(err.offset, kFrameHeaderBytes + 12 + 16);
+}
+
+// Adversarial header values: the envelope carries them faithfully — epoch
+// regression, a cursor at the integer ceiling, and a resealed skewed epoch
+// all decode cleanly here. Catching them is the collector's alignment and
+// sequence discipline, and these are exactly the frames it must face.
+TEST(FleetFrame, RoundTripsExtremeEpochAndCursor) {
+  SnapshotFrame frame = sample_frame();
+  frame.header.epoch = ~std::uint64_t{0};
+  frame.header.cursor = ~std::uint64_t{0} - 1;
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  SnapshotFrame decoded;
+  ASSERT_FALSE(decode_frame(bytes, &decoded));
+  EXPECT_EQ(decoded.header.epoch, ~std::uint64_t{0});
+  EXPECT_EQ(decoded.header.cursor, ~std::uint64_t{0} - 1);
+}
+
+TEST(FleetFrame, ResealedSkewedEpochHeaderDecodes) {
+  const std::vector<std::uint8_t> clean = encode_frame(sample_frame());
+  // The u64 epoch field sits at byte 28. An attacker (or a skewed clock)
+  // rewriting it and resealing produces a CRC-valid frame: a regressed
+  // epoch and a far-future one both pass the codec.
+  for (const std::uint64_t skewed : {std::uint64_t{0}, std::uint64_t{9000}}) {
+    std::vector<std::uint8_t> bytes = clean;
+    patch_u64_at(bytes, 28, skewed);
+    reseal_frame(bytes);
+    SnapshotFrame decoded;
+    ASSERT_FALSE(decode_frame(bytes, &decoded)) << "epoch " << skewed;
+    EXPECT_EQ(decoded.header.epoch, skewed);
+  }
 }
 
 TEST(FleetFrame, ErrorsRenderOffsets) {
