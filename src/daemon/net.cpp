@@ -1,0 +1,148 @@
+#include "daemon/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dart::daemon {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One bounded readiness wait: at most kPollSliceMs, never -1.
+bool wait_ready(int fd, short events) {
+  struct pollfd pfd;
+  std::memset(&pfd, 0, sizeof(pfd));
+  pfd.fd = fd;
+  pfd.events = events;
+  return ::poll(&pfd, 1, kPollSliceMs) > 0;
+}
+
+}  // namespace
+
+int listen_tcp_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int try_accept(int listen_fd) {
+  // con-ok(CON009): listener fd is O_NONBLOCK, returns EAGAIN immediately
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int bounded_accept(int listen_fd, const StopFn& stop) {
+  for (;;) {
+    if (stop && stop()) return -1;
+    const int fd = try_accept(listen_fd);
+    if (fd >= 0) return fd;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return -1;
+    wait_ready(listen_fd, POLLIN);  // bounded slice, then re-check stop
+  }
+}
+
+std::ptrdiff_t read_available(int fd, std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    // con-ok(CON009): fd is O_NONBLOCK, returns EAGAIN instead of parking
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) return static_cast<std::ptrdiff_t>(n);
+    if (n == 0) return -1;  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+std::ptrdiff_t bounded_read(int fd, std::uint8_t* buf, std::size_t len,
+                            const StopFn& stop) {
+  for (;;) {
+    if (stop && stop()) return -1;
+    // con-ok(CON009): fd is O_NONBLOCK, returns EAGAIN instead of parking
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return -1;
+    wait_ready(fd, POLLIN);  // bounded slice, then re-check stop
+  }
+}
+
+bool write_all(int fd, const void* data, std::size_t len, const StopFn& stop) {
+  const auto* cursor = static_cast<const std::uint8_t*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    if (stop && stop()) return false;
+    const ssize_t n = ::write(fd, cursor, remaining);
+    if (n > 0) {
+      cursor += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd, POLLOUT);  // bounded slice, then re-check stop
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace dart::daemon

@@ -1,0 +1,63 @@
+// Bounded socket primitives for daemon code.
+//
+// Every blocking network syscall in the daemon goes through these helpers:
+// they poll with a short timeout and re-check a stop predicate between
+// waits, so SIGTERM can never be stuck behind an accept() or read() that
+// only returns when a peer shows up. dart-analyze CON009 rejects raw
+// accept/recv/read calls in src/daemon/ for exactly this reason — the
+// waivered call sites live here and nowhere else. Loopback TCP only: the
+// daemon's ingest and query listeners are local-machine surfaces, not
+// exposed services.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dart::daemon {
+
+/// Shutdown predicate checked between bounded waits; true means "give up
+/// and return now".
+using StopFn = std::function<bool()>;
+
+/// How long one bounded wait lasts before the stop predicate is re-checked.
+/// Worst-case shutdown latency added by any single helper call.
+inline constexpr int kPollSliceMs = 50;
+
+/// Listen on 127.0.0.1:`port` (0 picks an ephemeral port). Returns the
+/// listening fd (non-blocking, SO_REUSEADDR) or -1 on failure.
+int listen_tcp_local(std::uint16_t port);
+
+/// Actual bound port of a listening/connected socket — resolves port 0.
+/// Returns 0 on failure.
+std::uint16_t local_port(int fd);
+
+/// Connect to 127.0.0.1:`port`; returns a blocking connected fd or -1.
+/// Test/client-side helper (the feeder side of SocketSource).
+int connect_tcp_local(std::uint16_t port);
+
+/// Accept one connection, waiting in kPollSliceMs slices until a peer
+/// arrives or `stop()` turns true. Returns the connected fd (non-blocking)
+/// or -1 (stopped, or listener error).
+int bounded_accept(int listen_fd, const StopFn& stop);
+
+/// Accept without waiting at all: a connection that is ready now, or -1.
+int try_accept(int listen_fd);
+
+/// Read up to `len` bytes, waiting in kPollSliceMs slices for readability.
+/// Returns bytes read (>0), 0 on clean EOF, or -1 (stopped, or error).
+std::ptrdiff_t bounded_read(int fd, std::uint8_t* buf, std::size_t len,
+                            const StopFn& stop);
+
+/// Read whatever is available right now, without waiting: bytes read (>0),
+/// 0 when nothing is ready, -1 on EOF or error.
+std::ptrdiff_t read_available(int fd, std::uint8_t* buf, std::size_t len);
+
+/// Write the whole buffer, waiting in kPollSliceMs slices for writability.
+/// Returns false when stopped or on error.
+bool write_all(int fd, const void* data, std::size_t len, const StopFn& stop);
+
+/// close() that tolerates fd < 0.
+void close_fd(int fd);
+
+}  // namespace dart::daemon

@@ -1,0 +1,34 @@
+// PacketSource: the daemon's ingest seam.
+//
+// dartd decouples *where packets come from* (a rate-paced .dtrc replay, a
+// TCP byte stream, eventually a capture interface) from *what consumes
+// them* (the sharded runtime, driven by EpochRunner) — the CoMo-style
+// ingest/modules/query split. A source is pull-based and non-blocking: the
+// ingest loop polls it between shutdown-flag checks, so no source may ever
+// park the loop inside a blocking syscall (dart-analyze CON009 enforces
+// the same rule lexically for daemon code).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/packet.hpp"
+
+namespace dart::daemon {
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Append up to `max` packets that are ready *now* to `out`; returns how
+  /// many were appended. Zero means "nothing ready yet" — the caller
+  /// decides whether to sleep, not the source. Must not block.
+  virtual std::size_t poll(std::vector<PacketRecord>& out, std::size_t max) = 0;
+
+  /// True once no packet will ever arrive again (trace fully released,
+  /// peer closed the stream). A drained-and-exhausted source ends the
+  /// ingest cycle; a merely-idle one does not.
+  virtual bool exhausted() const = 0;
+};
+
+}  // namespace dart::daemon

@@ -1,0 +1,101 @@
+#include "daemon/query_server.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "daemon/net.hpp"
+
+namespace dart::daemon {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 1024;
+
+/// "GET /path HTTP/1.x" -> "/path"; a bare line is already the path.
+/// Returns true when the request was HTTP-framed.
+bool parse_request_line(const std::string& request_line, std::string& path) {
+  if (request_line.rfind("GET ", 0) == 0) {
+    const std::size_t start = 4;
+    const std::size_t end = request_line.find(' ', start);
+    path = request_line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    return true;
+  }
+  path = request_line;
+  return false;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = listen_tcp_local(port);
+  if (listen_fd_ < 0) return;
+  port_ = local_port(listen_fd_);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+void QueryServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void QueryServer::serve_loop() {
+  const StopFn stop = [this] {
+    return stop_.load(std::memory_order_acquire);
+  };
+  while (!stop()) {
+    const int client_fd = bounded_accept(listen_fd_, stop);
+    if (client_fd < 0) continue;  // stopped, or a transient accept error
+    serve_one(client_fd);
+    close_fd(client_fd);
+  }
+}
+
+void QueryServer::serve_one(int client_fd) {
+  const StopFn stop = [this] {
+    return stop_.load(std::memory_order_acquire);
+  };
+  // Read up to the first newline: both framings are one-line requests (any
+  // HTTP headers that follow are irrelevant and left unread).
+  std::string request;
+  std::uint8_t chunk[256];
+  while (request.find('\n') == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const std::ptrdiff_t n =
+        bounded_read(client_fd, chunk, sizeof(chunk), stop);
+    if (n <= 0) break;  // EOF, error, or stopping
+    request.append(reinterpret_cast<const char*>(chunk),
+                   static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = request.find('\n');
+  if (eol == std::string::npos) return;  // never got a full request line
+  std::string request_line = request.substr(0, eol);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  if (request_line.empty()) return;
+
+  std::string path;
+  const bool http = parse_request_line(request_line, path);
+  const std::string body = handler_ ? handler_(path) : std::string();
+
+  std::string response;
+  if (http) {
+    response = body.empty() ? "HTTP/1.0 404 Not Found\r\n"
+                            : "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: text/plain; charset=utf-8\r\n";
+    const std::string payload = body.empty() ? "not found\n" : body;
+    response += "Content-Length: " + std::to_string(payload.size()) + "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += payload;
+  } else {
+    response = body.empty() ? std::string("error: not found\n") : body;
+  }
+  write_all(client_fd, response.data(), response.size(), stop);
+}
+
+}  // namespace dart::daemon

@@ -1,0 +1,53 @@
+// QueryServer: dartd's loopback query surface.
+//
+// A single service thread accepts one connection at a time on
+// 127.0.0.1:<port> and answers one request per connection. Two framings
+// share the socket: a minimal HTTP/1.0 GET (curl-friendly, Content-Length
+// framed) and a bare line protocol (`printf '/status\n' | nc`) that
+// returns the raw body. Routing is delegated to a Handler so the server
+// knows nothing about the runner — the query side of the ingest/modules/
+// query decoupling. All socket waits go through the bounded daemon::net
+// helpers, so stop() (or destruction) ends the thread within one poll
+// slice even with no client connected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dart::daemon {
+
+class QueryServer {
+ public:
+  /// Maps a request path ("/status") to a response body; an empty body
+  /// answers 404 (HTTP) or "error: not found" (line protocol).
+  using Handler = std::function<std::string(const std::string& path)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the service thread.
+  /// On bind failure running() is false and port() is 0.
+  QueryServer(std::uint16_t port, Handler handler);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Idempotent; joins the service thread.
+  void stop();
+
+ private:
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dart::daemon

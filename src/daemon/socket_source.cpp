@@ -1,0 +1,71 @@
+#include "daemon/socket_source.hpp"
+
+#include "daemon/net.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dart::daemon {
+namespace {
+
+constexpr std::size_t kRecordBytes =
+    static_cast<std::size_t>(trace::kPacketRecordBytes);
+
+}  // namespace
+
+SocketSource::SocketSource(std::uint16_t port) {
+  static_assert(sizeof(pending_) == kRecordBytes,
+                "reassembly buffer must hold exactly one wire record");
+  listen_fd_ = listen_tcp_local(port);
+  if (listen_fd_ < 0) {
+    exhausted_ = true;
+    return;
+  }
+  port_ = local_port(listen_fd_);
+}
+
+SocketSource::~SocketSource() {
+  close_fd(client_fd_);
+  close_fd(listen_fd_);
+}
+
+std::size_t SocketSource::poll(std::vector<PacketRecord>& out,
+                               std::size_t max) {
+  if (exhausted_ || max == 0) return 0;
+  if (client_fd_ < 0) {
+    client_fd_ = try_accept(listen_fd_);
+    if (client_fd_ < 0) return 0;  // no feeder yet; stay non-blocking
+  }
+  std::size_t appended = 0;
+  while (appended < max) {
+    const std::ptrdiff_t n = read_available(
+        client_fd_, pending_ + pending_len_, kRecordBytes - pending_len_);
+    if (n < 0) {
+      // Peer EOF (or a hard error): the stream is over for this feeder.
+      close_fd(client_fd_);
+      client_fd_ = -1;
+      exhausted_ = true;
+      break;
+    }
+    if (n == 0) break;  // no bytes ready now
+    pending_len_ += static_cast<std::size_t>(n);
+    if (pending_len_ < kRecordBytes) continue;
+    pending_len_ = 0;
+    PacketRecord packet;
+    if (!trace::decode_packet_record(pending_, packet)) {
+      ++rejected_;  // fixed-size framing: skip the record, stay in sync
+      continue;
+    }
+    out.push_back(packet);
+    ++appended;
+  }
+  return appended;
+}
+
+bool SocketSource::exhausted() const { return exhausted_; }
+
+void SocketSource::rearm() {
+  if (listen_fd_ < 0) return;  // bind failed: permanently exhausted
+  exhausted_ = false;
+  pending_len_ = 0;
+}
+
+}  // namespace dart::daemon

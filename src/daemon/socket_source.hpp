@@ -1,0 +1,55 @@
+// SocketSource: packet records streamed over loopback TCP.
+//
+// The wire format is exactly the .dtrc packet stream — back-to-back
+// 32-byte little-endian records (trace::encode_packet_record), no header —
+// so a feeder can `dart-trace`-split a capture and pipe it in, and a test
+// can byte-compare against file replay. One feeder at a time: the source
+// accepts lazily inside poll() (never blocking; CON009), reads whatever
+// bytes are ready, and surfaces complete records. Peer EOF marks the
+// source exhausted; rearm() readies it for the next feeder/cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "daemon/packet_source.hpp"
+
+namespace dart::daemon {
+
+class SocketSource final : public PacketSource {
+ public:
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral; see port()). Failure to
+  /// bind leaves the source permanently exhausted with port() == 0.
+  explicit SocketSource(std::uint16_t port);
+  ~SocketSource() override;
+
+  SocketSource(const SocketSource&) = delete;
+  SocketSource& operator=(const SocketSource&) = delete;
+
+  std::size_t poll(std::vector<PacketRecord>& out, std::size_t max) override;
+  bool exhausted() const override;
+
+  /// Actual bound ingest port (resolves an ephemeral request); 0 if bind
+  /// failed.
+  std::uint16_t port() const { return port_; }
+
+  /// Ready the source for the next feeder after EOF: clears the exhausted
+  /// state so poll() accepts a new connection. Partial trailing bytes from
+  /// the previous feeder are discarded (a truncated record cannot be
+  /// completed by an unrelated peer).
+  void rearm();
+
+  /// Records dropped because they failed field validation (decode returned
+  /// false); the stream stays in sync because records are fixed-size.
+  std::uint64_t rejected_records() const { return rejected_; }
+
+ private:
+  int listen_fd_ = -1;
+  int client_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool exhausted_ = false;
+  std::uint64_t rejected_ = 0;
+  std::uint8_t pending_[32];
+  std::size_t pending_len_ = 0;
+};
+
+}  // namespace dart::daemon

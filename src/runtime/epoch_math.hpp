@@ -1,0 +1,29 @@
+// Epoch-boundary arithmetic for the routed-packet clock.
+//
+// The sharded router counts routed packets and fires the epoch hook at
+// every interval boundary; the fleet collector aligns frames by the same
+// cursor arithmetic, and the daemon rotates its query snapshots on it.
+// Centralizing the two expressions keeps every consumer agreeing on the
+// boundary cases — no hook for a trailing partial epoch, no overflow for
+// cursors adjacent to 2^63 — and makes them testable without routing a
+// packet (mirrors the collector's cursor-ceiling test).
+#pragma once
+
+#include <cstdint>
+
+namespace dart::runtime {
+
+/// Epochs completed after `routed` packets: floor(routed / interval).
+/// A trailing partial epoch never counts; interval 0 means "no epochs".
+constexpr std::uint64_t epochs_completed(std::uint64_t routed,
+                                         std::uint64_t interval) {
+  return interval == 0 ? 0 : routed / interval;
+}
+
+/// True exactly when packet number `routed` (1-based: the count *after*
+/// routing it) closes an epoch — i.e. the hook fires at this packet.
+constexpr bool closes_epoch(std::uint64_t routed, std::uint64_t interval) {
+  return interval != 0 && routed != 0 && routed % interval == 0;
+}
+
+}  // namespace dart::runtime

@@ -1,0 +1,50 @@
+// Typed lifetime errors for the replay runtime.
+//
+// The batch-era contract ("construct, process everything, finish(), read
+// results, destroy") survived on caller discipline: process() after
+// finish() pushed batches into rings whose workers had already joined, and
+// a second finish() silently re-ran the shutdown path. A long-running
+// daemon breaks that discipline by design — its restart path tears a
+// monitor down and builds a fresh one while queries are still in flight —
+// so misuse must fail fast with a typed, catchable error instead of
+// touching freed worker state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dart::runtime {
+
+enum class LifecycleViolation : std::uint8_t {
+  /// process()/process_all() on a monitor whose workers already joined.
+  kProcessAfterFinish,
+  /// A second explicit finish(); destruction after finish() stays legal.
+  kFinishAfterFinish,
+};
+
+constexpr const char* to_string(LifecycleViolation violation) {
+  switch (violation) {
+    case LifecycleViolation::kProcessAfterFinish:
+      return "process() after finish(): the workers have joined and their "
+             "rings have no consumer; build a fresh monitor for a new cycle";
+    case LifecycleViolation::kFinishAfterFinish:
+      return "finish() called twice: results are already settled";
+  }
+  return "unknown lifecycle violation";
+}
+
+/// Thrown by the sharded runtime on batch-lifetime misuse. logic_error:
+/// every instance is a caller bug (a use-after-finish), never a runtime
+/// condition to retry.
+class LifecycleError : public std::logic_error {
+ public:
+  explicit LifecycleError(LifecycleViolation violation)
+      : std::logic_error(to_string(violation)), violation_(violation) {}
+
+  LifecycleViolation violation() const { return violation_; }
+
+ private:
+  LifecycleViolation violation_;
+};
+
+}  // namespace dart::runtime

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/config_check.hpp"
+#include "runtime/epoch_math.hpp"
 
 #if defined(DART_FAULT_INJECTION)
 #include "runtime/fault_injection.hpp"
@@ -34,7 +35,7 @@ ShardedMonitor::ShardedMonitor(const ShardedConfig& config,
     : ShardedMonitor(config,
                      dart_factory(core::ensure_feasible(dart_config))) {}
 
-ShardedMonitor::~ShardedMonitor() { finish(); }
+ShardedMonitor::~ShardedMonitor() { shutdown(); }
 
 void ShardedMonitor::start(MonitorFactory factory) {
   shards_.reserve(config_.shards);
@@ -185,13 +186,15 @@ void ShardedMonitor::push_or_shed(Shard& shard, PacketBatch&& batch) {
 }
 
 void ShardedMonitor::process(const PacketRecord& packet) {
-  assert(!finished_ && "process() after finish()");
+  if (finished_) {
+    throw LifecycleError(LifecycleViolation::kProcessAfterFinish);
+  }
   Shard& shard = *shards_[router_.route(packet.tuple)];
   shard.pending.push_back(packet);
   if (shard.pending.size() >= config_.batch_size) flush_shard(shard);
   ++routed_total_;
-  if (config_.epoch_interval_packets != 0 && config_.on_epoch &&
-      routed_total_ % config_.epoch_interval_packets == 0) {
+  if (config_.on_epoch &&
+      closes_epoch(routed_total_, config_.epoch_interval_packets)) {
     // Router-thread barrier: fires between packets, so the callback can
     // publish fleet progress without racing the routing state.
     config_.on_epoch(++epochs_fired_, routed_total_);
@@ -199,7 +202,15 @@ void ShardedMonitor::process(const PacketRecord& packet) {
 }
 
 void ShardedMonitor::process_all(std::span<const PacketRecord> packets) {
+  if (finished_) {
+    throw LifecycleError(LifecycleViolation::kProcessAfterFinish);
+  }
   for (const PacketRecord& packet : packets) process(packet);
+}
+
+std::uint64_t ShardedMonitor::shard_routed_cursor(std::uint32_t shard) const {
+  const Shard& s = *shards_[shard];
+  return s.routed_packets + s.pending.size();
 }
 
 void ShardedMonitor::join_or_detach(Shard& shard) {
@@ -245,6 +256,13 @@ void ShardedMonitor::drain_as_shed(Shard& shard) {
 }
 
 void ShardedMonitor::finish() {
+  if (finished_) {
+    throw LifecycleError(LifecycleViolation::kFinishAfterFinish);
+  }
+  shutdown();
+}
+
+void ShardedMonitor::shutdown() noexcept {
   if (finished_) return;
   finished_ = true;
   for (auto& shard : shards_) {

@@ -49,6 +49,7 @@
 #include "core/config.hpp"
 #include "core/rtt_sample.hpp"
 #include "core/stats.hpp"
+#include "runtime/lifecycle.hpp"
 #include "runtime/overload_policy.hpp"
 #include "runtime/replay_monitor.hpp"
 #include "runtime/shard_router.hpp"
@@ -137,26 +138,46 @@ class ShardedMonitor {
   ShardedMonitor(const ShardedConfig& config,
                  const core::DartConfig& dart_config);
 
-  /// Joins the workers (finish()) if the caller has not already.
+  /// Joins the workers (shutdown) if the caller has not already finished.
   ~ShardedMonitor();
 
   ShardedMonitor(const ShardedMonitor&) = delete;
   ShardedMonitor& operator=(const ShardedMonitor&) = delete;
 
   /// Route one packet to its shard. Caller thread only; packets must arrive
-  /// in monitor order (as for DartMonitor::process).
+  /// in monitor order (as for DartMonitor::process). Throws LifecycleError
+  /// (kProcessAfterFinish) once finish() has run — the workers have joined
+  /// and a routed batch would land in a ring with no consumer.
   void process(const PacketRecord& packet);
 
-  /// Route a whole time-ordered stream.
+  /// Route a whole time-ordered stream. Same lifecycle contract as
+  /// process().
   void process_all(std::span<const PacketRecord> packets);
 
   /// Flush partial batches, signal end-of-stream, and join all workers
-  /// (bounded by join_timeout_ns per worker). Idempotent. Results are
-  /// available afterwards.
+  /// (bounded by join_timeout_ns per worker). Results are available
+  /// afterwards. A second explicit call throws LifecycleError
+  /// (kFinishAfterFinish): the batch-era "idempotent finish" contract hid
+  /// daemon restart bugs where two owners both believed they ended the
+  /// cycle. Destruction after finish() remains legal (the destructor uses
+  /// the noexcept shutdown path, never this method).
   void finish();
+
+  /// True once finish() has settled results (queries allowed, ingest not).
+  bool finished() const { return finished_; }
 
   std::uint32_t shards() const { return router_.shards(); }
   const ShardedConfig& config() const { return config_; }
+
+  /// Router-side epoch clock: packets routed so far. Router thread only
+  /// while running (it is the writer); any thread after finish().
+  std::uint64_t routed_total() const { return routed_total_; }
+
+  /// Router-side per-shard cursor: packets routed to `shard` so far,
+  /// including the pending partial batch not yet handed to the ring. The
+  /// cursors sum to routed_total(); an on_epoch callback may snapshot them
+  /// to stamp a barrier frame. Same threading contract as routed_total().
+  std::uint64_t shard_routed_cursor(std::uint32_t shard) const;
 
   /// Per-shard results; valid only after finish(). A force-detached
   /// shard's samples are unreadable (its worker may still touch them) and
@@ -217,6 +238,10 @@ class ShardedMonitor {
   };
 
   void start(MonitorFactory factory);
+  // The whole finish() sequence minus the lifecycle check, safe from the
+  // destructor: flush, end-of-input, join/detach, settle results, fold
+  // telemetry. Idempotent.
+  void shutdown() noexcept;
   void flush_shard(Shard& shard);
   void push_or_shed(Shard& shard, PacketBatch&& batch);
   void join_or_detach(Shard& shard);

@@ -1,0 +1,90 @@
+#include "telemetry/snapshot_watch.hpp"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace dart::telemetry {
+namespace {
+
+bool read_from_disk(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+FileSignature probe_file(const std::string& path) {
+  struct stat st;
+  FileSignature sig;
+  if (::stat(path.c_str(), &st) != 0) return sig;  // exists stays false
+  sig.exists = true;
+  sig.size = static_cast<std::uint64_t>(st.st_size);
+  sig.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+                     1'000'000'000 +
+                 static_cast<std::int64_t>(st.st_mtim.tv_nsec);
+  return sig;
+}
+
+SnapshotWatcher::SnapshotWatcher(std::string path, ReadFileFn read_file)
+    : path_(std::move(path)),
+      read_file_(read_file ? std::move(read_file) : read_from_disk) {}
+
+bool SnapshotWatcher::parsed_ok(const std::string& text,
+                                const std::vector<PromSample>& samples) const {
+  if (!samples.empty()) return true;
+  // Zero samples is a legitimate parse of blank/comment-only text; it is a
+  // failure only when there was substantive text to parse (the torn-read
+  // shape: half a line of digits, no complete sample).
+  for (std::size_t i = 0; i < text.size();) {
+    std::size_t end = text.find('\n', i);
+    if (end == std::string::npos) end = text.size();
+    std::size_t start = i;
+    while (start < end && (text[start] == ' ' || text[start] == '\t')) {
+      ++start;
+    }
+    if (start < end && text[start] != '#') return false;
+    i = end + 1;
+  }
+  return true;
+}
+
+SnapshotWatcher::Event SnapshotWatcher::poll(
+    std::vector<PromSample>& samples) {
+  const FileSignature sig = probe_file(path_);
+  if (sig == last_) return Event::kUnchanged;
+
+  // The file changed. Read-and-parse with one retry: a failure on the
+  // first attempt is more likely a torn read racing the writer than real
+  // damage, and the second attempt observes the settled file.
+  Event failure = Event::kUnreadable;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string text;
+    if (!sig.exists || !read_file_(path_, text)) {
+      failure = Event::kUnreadable;
+      continue;
+    }
+    samples = parse_prometheus(text);
+    if (parsed_ok(text, samples)) {
+      // Adopt the pre-read probe, not a fresh one: if the writer landed
+      // between probe and read, the next poll re-renders rather than
+      // silently skipping the newer content.
+      last_ = sig;
+      return Event::kRendered;
+    }
+    samples.clear();
+    failure = Event::kParseError;
+  }
+  // Report this signature's failure exactly once: adopting it here means
+  // the next poll sees "unchanged" until the writer touches the file again.
+  last_ = sig;
+  return failure;
+}
+
+}  // namespace dart::telemetry

@@ -1,0 +1,67 @@
+// SnapshotWatcher: change-driven re-rendering of exported snapshot files.
+//
+// dart-top's watch loop used to re-read and re-parse the snapshot on every
+// tick regardless of whether anything changed, and a read that raced a
+// non-atomic writer surfaced as parse-error spam every interval. The
+// watcher fixes both: a stat() signature (existence, size, mtime) gates
+// the read — unchanged file, no work — and a parse failure is re-read once
+// before being reported, which absorbs the torn-read race (write_atomic's
+// rename makes it rare; plain writers make it routine). Each distinct
+// signature reports at most one event, so a persistently broken file says
+// so once instead of every tick.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+
+namespace dart::telemetry {
+
+/// What stat() knows about a file: enough to detect change without reading
+/// content. Equality of signatures is the "skip the read" test.
+struct FileSignature {
+  bool exists = false;
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;
+
+  friend bool operator==(const FileSignature&, const FileSignature&) =
+      default;
+};
+
+FileSignature probe_file(const std::string& path);
+
+class SnapshotWatcher {
+ public:
+  enum class Event : std::uint8_t {
+    kUnchanged,   ///< signature identical to last poll; nothing read
+    kRendered,    ///< file changed and parsed; `samples` is filled
+    kParseError,  ///< changed but unparseable even after the one retry
+    kUnreadable,  ///< changed but missing/unopenable after the one retry
+  };
+
+  /// `read_file` is injectable for tests (simulate torn reads); the
+  /// default reads the file from disk.
+  using ReadFileFn =
+      std::function<bool(const std::string& path, std::string& out)>;
+
+  explicit SnapshotWatcher(std::string path, ReadFileFn read_file = {});
+
+  /// One watch turn. Never blocks; call it on whatever cadence the caller
+  /// already has. kParseError/kUnreadable fire once per signature change.
+  Event poll(std::vector<PromSample>& samples);
+
+  const FileSignature& last_signature() const { return last_; }
+
+ private:
+  bool parsed_ok(const std::string& text,
+                 const std::vector<PromSample>& samples) const;
+
+  std::string path_;
+  ReadFileFn read_file_;
+  FileSignature last_;
+};
+
+}  // namespace dart::telemetry

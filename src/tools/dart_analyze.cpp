@@ -29,6 +29,11 @@
 //           the same spool always yields the same report; a ::now() (or a
 //           deadline wait built on one) smuggles wall time back into the
 //           decisions (sleep_for pacing between polls stays legal)
+//   CON009  no unbounded blocking socket waits in daemon code — a raw
+//           accept/recv/read (or a poll with an infinite timeout) parks
+//           the thread until a peer acts, so SIGTERM cannot drain; wait
+//           through the daemon::net bounded helpers, which slice the wait
+//           and re-check the shutdown flag between slices
 //
 // The checker is lexical by design: no compiler, no flags, no compile
 // database — it runs identically on every developer box and in CI, and the
@@ -84,6 +89,7 @@ struct FileClass {
   bool threads_ok = false;
   bool exporter = false;
   bool collector = false;
+  bool daemon = false;
 };
 
 struct RuleInfo {
@@ -100,6 +106,7 @@ constexpr RuleInfo kRules[] = {
     {"CON006", "mutex locked outside an RAII scope"},
     {"CON007", "raw filesystem write in exporter code (use write_atomic)"},
     {"CON008", "wall-clock read in collector decision path"},
+    {"CON009", "unbounded blocking socket wait in daemon code"},
 };
 
 // ---------------------------------------------------------------------------
@@ -647,6 +654,65 @@ void check_con008(const std::string& code,
   }
 }
 
+void check_con009(const std::string& code,
+                  const std::vector<std::size_t>& lines,
+                  const std::string& file, std::vector<Finding>& findings) {
+  // Free-function socket waits that block until a peer acts. Member calls
+  // (`in.read(...)`, `stream->read(...)`) are stream I/O, not socket
+  // syscalls, so the name must not follow '.' or '->'; an identifier
+  // character to the left (fread, bounded_read) is a different function.
+  static const std::regex kBlockingCall(
+      R"((^|[^\w.>])(accept4?|recv|recvfrom|recvmsg|read)\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kBlockingCall), end;
+       it != end; ++it) {
+    const std::size_t name_pos =
+        static_cast<std::size_t>(it->position(2));
+    // `long read(...)` is a declaration, not a wait: a preceding word
+    // other than an expression keyword means a return type sits there.
+    std::size_t back = name_pos;
+    while (back > 0 && (code[back - 1] == ' ' || code[back - 1] == '\t' ||
+                        code[back - 1] == '\n' || code[back - 1] == '\r')) {
+      --back;
+    }
+    if (back > 0 && is_ident_char(code[back - 1])) {
+      std::size_t word_start = back;
+      while (word_start > 0 && is_ident_char(code[word_start - 1])) {
+        --word_start;
+      }
+      const std::string word = code.substr(word_start, back - word_start);
+      if (word != "return" && word != "co_return" && word != "co_await" &&
+          word != "throw" && word != "else" && word != "do") {
+        continue;
+      }
+    }
+    findings.push_back(
+        {"CON009", file, line_of(lines, name_pos),
+         "blocking " + (*it)[2].str() +
+             "() in daemon code can park the thread past SIGTERM; wait "
+             "through the daemon::net bounded helpers (poll slice + stop "
+             "re-check)"});
+  }
+  // poll()/ppoll() with an infinite timeout is the same bug with extra
+  // steps: the wait never wakes to look at the shutdown flag.
+  static const std::regex kPoll(R"(\bp?poll\s*\()");
+  for (std::sregex_iterator it(code.begin(), code.end(), kPoll), end;
+       it != end; ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    const std::size_t close = match_paren(code, open);
+    if (close == std::string::npos) continue;
+    const std::string args = code.substr(open + 1, close - open - 1);
+    static const std::regex kInfinite(R"(,\s*(-\s*1|nullptr|NULL)\s*$)");
+    if (std::regex_search(args, kInfinite)) {
+      findings.push_back(
+          {"CON009", file,
+           line_of(lines, static_cast<std::size_t>(it->position())),
+           "poll() with an infinite timeout in daemon code never wakes to "
+           "check the shutdown flag; use a bounded slice and re-check"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -660,19 +726,23 @@ FileClass classify(const std::string& rel) {
   fc.hotpath = starts("src/core/") || starts("src/runtime/") ||
                rel == "src/telemetry/metrics.hpp" ||
                starts("src/common/packet.");
-  fc.deterministic =
-      starts("src/") && !starts("src/runtime/") && !starts("src/tools/");
+  // Daemon code is wall-clock-paced by nature (rate pacing, idle sleeps),
+  // so it is exempt from CON003 and gets CON009 instead.
+  fc.deterministic = starts("src/") && !starts("src/runtime/") &&
+                     !starts("src/tools/") && !starts("src/daemon/");
   fc.exported = starts("src/core/") || starts("src/telemetry/") ||
                 starts("src/analytics/");
   const std::string base = fs::path(rel).filename().string();
   fc.threads_ok = base.rfind("sharded_monitor.", 0) == 0 ||
-                  base.rfind("shard_supervisor.", 0) == 0;
+                  base.rfind("shard_supervisor.", 0) == 0 ||
+                  base.rfind("query_server.", 0) == 0;
   // Everything that publishes snapshot frames for a concurrent reader:
   // the fleet subsystem and the dart-fleet CLI around it.
   fc.exporter = starts("src/fleet/") || rel == "src/tools/dart_fleet.cpp";
   // The merge side: its fencing/grace/skew decisions are poll-counted.
   fc.collector =
       rel == "src/fleet/collector.cpp" || rel == "src/fleet/collector.hpp";
+  fc.daemon = starts("src/daemon/") || rel == "src/tools/dart_daemon.cpp";
   return fc;
 }
 
@@ -723,6 +793,7 @@ bool analyze_file(const fs::path& path, const std::string& display,
   check_con006(code, lines, display, out.findings);
   if (fc.exporter) check_con007(code, lines, display, out.findings);
   if (fc.collector) check_con008(code, lines, display, out.findings);
+  if (fc.daemon) check_con009(code, lines, display, out.findings);
   return true;
 }
 
@@ -737,7 +808,7 @@ void print_usage(std::ostream& out) {
          "Options:\n"
          "  --treat-as CLASS  classify explicit files as hotpath|\n"
          "                    deterministic|export|exporter|collector|\n"
-         "                    threads-ok|plain\n"
+         "                    daemon|threads-ok|plain\n"
          "                    (default: plain; CON005/CON006 always apply)\n"
          "  --waivers FILE    load a tree waiver file in fixture mode\n"
          "  --quiet           diagnostics only, no summary line\n"
@@ -808,6 +879,8 @@ int main(int argc, char** argv) {
     fixture_class.exporter = true;
   } else if (treat_as == "collector") {
     fixture_class.collector = true;
+  } else if (treat_as == "daemon") {
+    fixture_class.daemon = true;
   } else if (treat_as == "threads-ok") {
     fixture_class.threads_ok = true;
   } else if (treat_as != "plain") {

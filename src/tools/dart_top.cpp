@@ -31,6 +31,7 @@
 
 #include "telemetry/export.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/snapshot_watch.hpp"
 
 #if defined(DART_TELEMETRY)
 #include "gen/workload.hpp"
@@ -203,17 +204,30 @@ int render_file(const std::string& path, bool check) {
 
 int run_watch(const std::string& path, std::uint64_t interval_ms,
               std::uint64_t iterations) {
+  using Event = dart::telemetry::SnapshotWatcher::Event;
   std::uint64_t rendered = 0;
-  std::string last;
+  dart::telemetry::SnapshotWatcher watcher(path);
   for (;;) {
-    std::string text;
-    if (read_file(path, text) && text != last) {
-      last = std::move(text);
-      std::cout << "\033[2J\033[H";  // clear + home; harmless when piped
-      render(dart::telemetry::parse_prometheus(last), std::cout);
-      std::cout.flush();
-      ++rendered;
-      if (iterations != 0 && rendered >= iterations) return 0;
+    std::vector<PromSample> samples;
+    switch (watcher.poll(samples)) {
+      case Event::kUnchanged:
+        break;  // mtime/size signature unchanged: no read, no redraw
+      case Event::kRendered:
+        std::cout << "\033[2J\033[H";  // clear + home; harmless when piped
+        render(samples, std::cout);
+        std::cout.flush();
+        ++rendered;
+        if (iterations != 0 && rendered >= iterations) return 0;
+        break;
+      case Event::kParseError:
+        // Already retried once inside poll(), and the watcher reports each
+        // bad signature only once — no per-tick spam.
+        std::cerr << "dart-top: snapshot did not parse (torn write?): "
+                  << path << "\n";
+        break;
+      case Event::kUnreadable:
+        std::cerr << "dart-top: cannot read " << path << "\n";
+        break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }

@@ -119,6 +119,58 @@ std::string TraceError::to_string() const {
   return out;
 }
 
+namespace {
+
+template <typename T>
+void pack_le(std::uint8_t*& cursor, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *cursor++ = static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T unpack_le(const std::uint8_t*& cursor) {
+  std::uint64_t accum = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    accum |= static_cast<std::uint64_t>(*cursor++) << (8 * i);
+  }
+  return static_cast<T>(accum);
+}
+
+}  // namespace
+
+void encode_packet_record(const PacketRecord& packet, std::uint8_t* out) {
+  std::uint8_t* cursor = out;
+  pack_le<std::uint64_t>(cursor, packet.ts);
+  pack_le<std::uint32_t>(cursor, packet.tuple.src_ip.value());
+  pack_le<std::uint32_t>(cursor, packet.tuple.dst_ip.value());
+  pack_le<std::uint16_t>(cursor, packet.tuple.src_port);
+  pack_le<std::uint16_t>(cursor, packet.tuple.dst_port);
+  pack_le<std::uint32_t>(cursor, packet.seq);
+  pack_le<std::uint32_t>(cursor, packet.ack);
+  pack_le<std::uint16_t>(cursor, packet.payload);
+  pack_le<std::uint8_t>(cursor, packet.flags);
+  pack_le<std::uint8_t>(cursor, packet.outbound ? 1 : 0);
+}
+
+bool decode_packet_record(const std::uint8_t* in, PacketRecord& packet) {
+  const std::uint8_t* cursor = in;
+  packet.ts = unpack_le<std::uint64_t>(cursor);
+  packet.tuple.src_ip = Ipv4Addr{unpack_le<std::uint32_t>(cursor)};
+  packet.tuple.dst_ip = Ipv4Addr{unpack_le<std::uint32_t>(cursor)};
+  packet.tuple.src_port = unpack_le<std::uint16_t>(cursor);
+  packet.tuple.dst_port = unpack_le<std::uint16_t>(cursor);
+  packet.seq = unpack_le<std::uint32_t>(cursor);
+  packet.ack = unpack_le<std::uint32_t>(cursor);
+  packet.payload = unpack_le<std::uint16_t>(cursor);
+  packet.flags = unpack_le<std::uint8_t>(cursor);
+  const std::uint8_t outbound = unpack_le<std::uint8_t>(cursor);
+  if (outbound > 1) return false;
+  packet.outbound = outbound != 0;
+  return true;
+}
+
 bool write_binary(const Trace& trace, std::ostream& out) {
   out.write(kMagic.data(), kMagic.size());
   put<std::uint32_t>(out, kTraceFormatVersion);

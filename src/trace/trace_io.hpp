@@ -40,6 +40,18 @@ inline constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8 + 8;
 bool write_binary(const Trace& trace, std::ostream& out);
 bool write_binary_file(const Trace& trace, const std::string& path);
 
+/// Wire codec for a single packet record: exactly the 32-byte little-endian
+/// layout of the .dtrc packet stream, exposed for byte-stream ingest (the
+/// daemon's socket source) so live feeds and file replay share one format
+/// instead of growing a second, subtly different framing.
+void encode_packet_record(const PacketRecord& packet,
+                          std::uint8_t* out /* kPacketRecordBytes */);
+
+/// Returns false when a field is out of range (outbound flag > 1) — the
+/// same validation read_binary_checked applies per record.
+bool decode_packet_record(const std::uint8_t* in /* kPacketRecordBytes */,
+                          PacketRecord& packet);
+
 enum class TraceErrorCode : std::uint8_t {
   kNone = 0,
   kIoError,           ///< stream unreadable before any parsing

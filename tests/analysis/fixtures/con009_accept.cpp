@@ -1,0 +1,38 @@
+// dart-analyze fixture: daemon-class code that waits for socket events in
+// bounded slices and re-checks the shutdown predicate between them — the
+// daemon::net pattern. Member-call read() on a stream-like object is also
+// present to pin down that CON009 only targets free-function syscalls.
+// Accepted under --treat-as daemon.
+namespace fixture {
+
+struct pollfd {
+  int fd = -1;
+  short events = 0;
+  short revents = 0;
+};
+
+int poll(pollfd* fds, unsigned long count, int timeout_ms);
+int bounded_accept(int listen_fd, bool (*stop)());
+long bounded_read(int fd, unsigned char* buf, unsigned long len,
+                  bool (*stop)());
+
+struct ByteStream {
+  long read(unsigned char* buf, unsigned long len);
+};
+
+long drain(int listen_fd, bool (*stop)(), ByteStream& spool,
+           unsigned char* buf, unsigned long len) {
+  long total = 0;
+  while (!stop()) {
+    pollfd pfd;
+    pfd.fd = listen_fd;
+    if (poll(&pfd, 1, 50) <= 0) continue;  // bounded slice, then re-check
+    const int client = bounded_accept(listen_fd, stop);
+    if (client < 0) continue;
+    total += bounded_read(client, buf, len, stop);
+    total += spool.read(buf, len);  // member call: stream I/O, not a syscall
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// dart-analyze fixture: daemon-class code that parks the thread in
+// unbounded blocking socket waits — a raw accept(), a raw recv(), a raw
+// ::read(), and a poll() with an infinite timeout. None of them ever wakes
+// to look at a shutdown flag, so SIGTERM cannot drain the daemon. Rejected
+// (CON009 four times).
+namespace fixture {
+
+struct pollfd {
+  int fd = -1;
+  short events = 0;
+  short revents = 0;
+};
+
+int accept(int listen_fd, void* addr, unsigned* addr_len);
+long recv(int fd, void* buf, unsigned long len, int flags);
+long read(int fd, void* buf, unsigned long len);
+int poll(pollfd* fds, unsigned long count, int timeout_ms);
+
+long serve_forever(int listen_fd, unsigned char* buf, unsigned long len) {
+  long total = 0;
+  for (;;) {
+    pollfd pfd;
+    pfd.fd = listen_fd;
+    if (poll(&pfd, 1, -1) <= 0) continue;  // infinite wait: never re-checks
+    const int client = accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    total += recv(client, buf, len, 0);
+    total += ::read(client, buf, len);
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,157 @@
+// Epoch-hook boundary arithmetic: on_epoch must fire exactly
+// floor(routed / interval) times, on the router thread, with
+// routed == epoch * interval at each firing and no trailing partial
+// epoch at drain. The daemon's rotation barrier stands on this math, so
+// the constexpr helpers are pinned down to the 2^63 edge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gen/workload.hpp"
+#include "runtime/epoch_math.hpp"
+#include "runtime/sharded_monitor.hpp"
+
+namespace dart {
+namespace {
+
+using runtime::closes_epoch;
+using runtime::epochs_completed;
+
+trace::Trace small_workload() {
+  gen::CampusConfig config;
+  config.seed = 5;
+  config.connections = 200;
+  config.duration = sec(2);
+  return gen::build_campus(config);
+}
+
+TEST(EpochMath, FloorDivision) {
+  EXPECT_EQ(epochs_completed(0, 100), 0u);
+  EXPECT_EQ(epochs_completed(99, 100), 0u);
+  EXPECT_EQ(epochs_completed(100, 100), 1u);
+  EXPECT_EQ(epochs_completed(101, 100), 1u);
+  EXPECT_EQ(epochs_completed(1000, 100), 10u);
+}
+
+TEST(EpochMath, IntervalZeroMeansNoEpochs) {
+  EXPECT_EQ(epochs_completed(12345, 0), 0u);
+  EXPECT_FALSE(closes_epoch(12345, 0));
+}
+
+TEST(EpochMath, ClosesOnlyAtExactMultiples) {
+  EXPECT_FALSE(closes_epoch(0, 100));  // nothing routed yet
+  EXPECT_FALSE(closes_epoch(99, 100));
+  EXPECT_TRUE(closes_epoch(100, 100));
+  EXPECT_FALSE(closes_epoch(101, 100));
+  EXPECT_TRUE(closes_epoch(200, 100));
+  EXPECT_TRUE(closes_epoch(1, 1));  // every packet is a boundary
+}
+
+// The epoch clock is u64; the arithmetic must not wrap or lose precision
+// near 2^63 (a daemon's routed_total is unbounded in principle).
+TEST(EpochMath, LargeValuesStayExact) {
+  const std::uint64_t big = 1ull << 63;
+  EXPECT_EQ(epochs_completed(big, 1), big);
+  EXPECT_EQ(epochs_completed(big, big), 1u);
+  EXPECT_EQ(epochs_completed(big - 1, big), 0u);
+  EXPECT_TRUE(closes_epoch(big, big));
+  EXPECT_FALSE(closes_epoch(big - 1, big));
+  EXPECT_TRUE(closes_epoch(big, 1ull << 31));
+  EXPECT_EQ(epochs_completed(~0ull, 3), ~0ull / 3);
+}
+
+// constexpr: usable as compile-time constants (e.g. static_assert guards).
+TEST(EpochMath, IsConstexpr) {
+  static_assert(epochs_completed(1000, 100) == 10);
+  static_assert(closes_epoch(1000, 100));
+  static_assert(!closes_epoch(1001, 100));
+  SUCCEED();
+}
+
+struct HookRecord {
+  std::uint64_t epoch;
+  std::uint64_t routed;
+  std::thread::id thread;
+};
+
+std::vector<HookRecord> run_with_hook(const trace::Trace& trace,
+                                      std::uint64_t interval,
+                                      std::uint32_t shards) {
+  std::vector<HookRecord> fired;
+  runtime::ShardedConfig config;
+  config.shards = shards;
+  config.epoch_interval_packets = interval;
+  runtime::ShardedMonitor* live = nullptr;
+  config.on_epoch = [&fired, &live](std::uint64_t epoch,
+                                    std::uint64_t routed) {
+    HookRecord record{epoch, routed, std::this_thread::get_id()};
+    fired.push_back(record);
+    // Router-side cursors are readable inside the hook and sum to the
+    // barrier's routed count — this is what the daemon snapshots.
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < live->shards(); ++i) {
+      sum += live->shard_routed_cursor(i);
+    }
+    EXPECT_EQ(sum, routed);
+  };
+  runtime::ShardedMonitor monitor(config, core::DartConfig{});
+  live = &monitor;
+  monitor.process_all(trace.packets());
+  monitor.finish();
+  EXPECT_EQ(monitor.routed_total(), trace.size());
+  return fired;
+}
+
+TEST(EpochHook, FiresFloorOfRoutedOverInterval) {
+  const trace::Trace trace = small_workload();
+  ASSERT_GT(trace.size(), 300u);
+  const std::uint64_t interval = 97;  // prime: guarantees a partial tail
+  const std::vector<HookRecord> fired = run_with_hook(trace, interval, 3);
+  ASSERT_EQ(fired.size(), trace.size() / interval);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].epoch, i + 1);  // epochs count from 1
+    EXPECT_EQ(fired[i].routed, (i + 1) * interval);
+  }
+}
+
+// finish() must not fire a hook for the partial tail: the last firing is
+// the last exact multiple, even though more packets were routed after it.
+TEST(EpochHook, NoTrailingPartialEpochAtDrain) {
+  const trace::Trace trace = small_workload();
+  const std::uint64_t interval = trace.size() - 1;  // tail of exactly 1
+  const std::vector<HookRecord> fired = run_with_hook(trace, interval, 2);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].routed, interval);
+}
+
+// A trace whose length is an exact multiple closes its final epoch on the
+// last routed packet — no off-by-one at the boundary.
+TEST(EpochHook, ExactMultipleClosesFinalEpoch) {
+  trace::Trace trace = small_workload();
+  ASSERT_GE(trace.size(), 500u);
+  trace.packets().resize(500);  // exact multiple of 100
+  const std::vector<HookRecord> fired = run_with_hook(trace, 100, 2);
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_EQ(fired.back().routed, 500u);
+}
+
+TEST(EpochHook, FiresOnRouterThread) {
+  const trace::Trace trace = small_workload();
+  const std::vector<HookRecord> fired = run_with_hook(trace, 128, 4);
+  ASSERT_FALSE(fired.empty());
+  // process_all runs on this thread, and the router *is* the caller.
+  for (const HookRecord& record : fired) {
+    EXPECT_EQ(record.thread, std::this_thread::get_id());
+  }
+}
+
+TEST(EpochHook, IntervalZeroNeverFires) {
+  const trace::Trace trace = small_workload();
+  const std::vector<HookRecord> fired = run_with_hook(trace, 0, 2);
+  EXPECT_TRUE(fired.empty());
+}
+
+}  // namespace
+}  // namespace dart

@@ -187,7 +187,10 @@ TEST(ShardedDifferentialEdge, FinishWithoutInputAndDoubleFinish) {
   config.shards = 2;
   runtime::ShardedMonitor sharded(config, core::DartConfig{});
   sharded.finish();
-  sharded.finish();  // idempotent
+  // The batch-era second finish() was a silent no-op; the daemon lifecycle
+  // fix made it a typed error (see lifecycle_test.cpp for the full
+  // contract). Results from the first finish() stay settled.
+  EXPECT_THROW(sharded.finish(), runtime::LifecycleError);
   EXPECT_EQ(sharded.merged_stats().packets_processed, 0U);
 }
 

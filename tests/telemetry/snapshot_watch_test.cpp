@@ -1,0 +1,147 @@
+// SnapshotWatcher: the watch-loop fix behind `dart-top watch`. A stat
+// signature gates the read (unchanged file, no work), a failed parse is
+// retried once before being reported (absorbing torn reads racing a
+// non-atomic writer), and each distinct signature reports at most one
+// event — a persistently broken file says so once, not every tick.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot_watch.hpp"
+
+namespace dart::telemetry {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "snapshot_watch_" + name + ".prom";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+TEST(SnapshotWatcher, UnchangedSignatureSkipsTheRead) {
+  const std::string path = temp_path("unchanged");
+  write_file(path, "dart_probe_total 7\n");
+  int reads = 0;
+  SnapshotWatcher watcher(path, [&reads](const std::string& p,
+                                         std::string& out) {
+    ++reads;
+    std::ifstream in(p, std::ios::binary);
+    out.assign(std::istreambuf_iterator<char>(in), {});
+    return static_cast<bool>(in || in.eof());
+  });
+
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "dart_probe_total");
+  EXPECT_EQ(reads, 1);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnchanged);
+  }
+  EXPECT_EQ(reads, 1);  // stat-gated: no reads while the file sits still
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWatcher, TornReadIsRetriedOnceAndAbsorbed) {
+  const std::string path = temp_path("torn");
+  write_file(path, "dart_probe_total 7\n");
+  int reads = 0;
+  SnapshotWatcher watcher(path, [&reads](const std::string&,
+                                         std::string& out) {
+    ++reads;
+    // First attempt observes a torn write (half a line, unparseable);
+    // the retry observes the settled file.
+    out = reads == 1 ? "dart_probe_tot" : "dart_probe_total 7\n";
+    return true;
+  });
+
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  EXPECT_EQ(reads, 2);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWatcher, PersistentParseErrorReportsOncePerSignature) {
+  const std::string path = temp_path("broken");
+  write_file(path, "this is not prometheus text");
+  SnapshotWatcher watcher(path);
+
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kParseError);
+  EXPECT_TRUE(samples.empty());
+  // Same broken bytes, same signature: say it once, then stay quiet.
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnchanged);
+
+  // The writer touching the file re-arms the report (longer content so
+  // the size component of the signature is guaranteed to move).
+  write_file(path, "this is not prometheus text either");
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kParseError);
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnchanged);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWatcher, FileVanishingReportsUnreadableOnce) {
+  const std::string path = temp_path("vanish");
+  write_file(path, "dart_probe_total 7\n");
+  SnapshotWatcher watcher(path);
+
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  std::remove(path.c_str());
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnreadable);
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnchanged);
+}
+
+// A path that never existed matches the default signature: the watcher
+// waits silently for the exporter's first write instead of spamming
+// "unreadable" from tick zero.
+TEST(SnapshotWatcher, MissingFileIsQuietUntilFirstWrite) {
+  const std::string path = temp_path("notyet");
+  std::remove(path.c_str());
+  SnapshotWatcher watcher(path);
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kUnchanged);
+  write_file(path, "dart_probe_total 1\n");
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  ASSERT_EQ(samples.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWatcher, RewriteRerendersWithNewContent) {
+  const std::string path = temp_path("rewrite");
+  write_file(path, "dart_probe_total 1\n");
+  SnapshotWatcher watcher(path);
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  EXPECT_EQ(samples[0].value, 1.0);
+
+  write_file(path, "dart_probe_total 22\n");
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 22.0);
+  std::remove(path.c_str());
+}
+
+// Comment-only text is a legitimate (empty) snapshot, not a parse error:
+// an exporter may write its header before the first scrape has counters.
+TEST(SnapshotWatcher, CommentOnlySnapshotRendersEmpty) {
+  const std::string path = temp_path("comments");
+  write_file(path, "# HELP dart_probe_total probes\n# TYPE counter\n");
+  SnapshotWatcher watcher(path);
+  std::vector<PromSample> samples;
+  EXPECT_EQ(watcher.poll(samples), SnapshotWatcher::Event::kRendered);
+  EXPECT_TRUE(samples.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dart::telemetry
